@@ -1,0 +1,65 @@
+// Command dhtm-bench regenerates the tables and figures of the DHTM paper's
+// evaluation section (§VI) on the simulated machine.
+//
+// Usage:
+//
+//	dhtm-bench                 # run every experiment at the default scale
+//	dhtm-bench -exp fig5       # run one experiment (table4, fig5, table5, fig6,
+//	                           #   table6, table7, durability, ablation)
+//	dhtm-bench -quick          # smaller transaction counts, finishes in seconds
+//	dhtm-bench -tx 32 -cores 8 # override the per-core transaction count / cores
+//	dhtm-bench -list           # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dhtm/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (comma separated), or 'all'")
+	quick := flag.Bool("quick", false, "use reduced transaction counts")
+	tx := flag.Int("tx", 0, "transactions per core (0 = per-experiment default)")
+	cores := flag.Int("cores", 0, "number of simulated cores (0 = 8, as in the paper)")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := harness.Options{Quick: *quick, TxPerCore: *tx, Cores: *cores, Out: os.Stdout}
+
+	var selected []harness.Experiment
+	if *exp == "all" {
+		selected = harness.Experiments()
+	} else {
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := harness.Find(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "dhtm-bench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		table, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dhtm-bench: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		table.Render(os.Stdout)
+		fmt.Printf("  (%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

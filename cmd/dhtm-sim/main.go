@@ -1,0 +1,107 @@
+// Command dhtm-sim runs a single (design, workload) pair on the simulated
+// machine and prints detailed statistics. With -crash it stops the run at the
+// last transaction's commit point, simulates a power failure and writes the
+// persistent-memory image to a file that cmd/dhtm-recover can replay.
+//
+// Examples:
+//
+//	dhtm-sim -design DHTM -workload hash -tx 24
+//	dhtm-sim -design DHTM -workload queue -crash -image crash.img
+//	dhtm-sim -design ATOM -workload tpcc -cores 4 -tx 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dhtm/internal/config"
+	"dhtm/internal/harness"
+	"dhtm/internal/recovery"
+	"dhtm/internal/txn"
+	"dhtm/internal/workloads"
+)
+
+func main() {
+	design := flag.String("design", harness.DesignDHTM, "design to run (SO, sdTM, ATOM, LogTM-ATOM, NP, DHTM, DHTM-instant, DHTM-L1, DHTM-nobuf)")
+	workload := flag.String("workload", "hash", "workload to run (queue, hash, sdg, sps, btree, rbtree, tatp, tpcc)")
+	tx := flag.Int("tx", 16, "transactions per core")
+	cores := flag.Int("cores", 0, "number of cores (0 = 8)")
+	logBuf := flag.Int("logbuf", 0, "DHTM log-buffer entries (0 = configured default of 64)")
+	bw := flag.Float64("bw", 1.0, "memory bandwidth scale factor")
+	crash := flag.Bool("crash", false, "crash at the last commit point instead of finishing cleanly")
+	image := flag.String("image", "", "write the persistent-memory image to this file (with -crash)")
+	recover := flag.Bool("recover", false, "run the recovery manager in-process after a crash and verify the workload")
+	flag.Parse()
+
+	cfg := config.Default()
+	if *cores > 0 {
+		cfg.NumCores = *cores
+	}
+	if *logBuf > 0 {
+		cfg.LogBufferEntries = *logBuf
+	}
+	cfg.BandwidthScale = *bw
+
+	env, err := txn.NewEnv(cfg)
+	if err != nil {
+		fail("building environment: %v", err)
+	}
+	rt, err := harness.NewRuntime(env, *design)
+	if err != nil {
+		fail("%v", err)
+	}
+	w, err := workloads.New(*workload)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	res, err := workloads.Run(env, rt, w, workloads.Params{Cores: cfg.NumCores}, *tx, !*crash)
+	if err != nil {
+		fail("running workload: %v", err)
+	}
+	fmt.Printf("%s on %s: %d transactions committed in %d cycles (%.3f tx/Mcycle)\n",
+		rt.Name(), w.Name(), res.Committed, res.Cycles, res.Throughput())
+	fmt.Print(env.Stats.Summary())
+
+	if *crash {
+		env.Hier.Crash()
+		fmt.Println("crash injected: volatile state discarded, durable logs retained")
+		if *image != "" {
+			f, err := os.Create(*image)
+			if err != nil {
+				fail("creating image file: %v", err)
+			}
+			if err := env.Store().Save(f); err != nil {
+				fail("writing image: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fail("closing image: %v", err)
+			}
+			fmt.Printf("persistent-memory image written to %s (replay it with dhtm-recover)\n", *image)
+		}
+		if *recover {
+			report, err := recovery.Recover(env.Store())
+			if err != nil {
+				fail("recovery: %v", err)
+			}
+			fmt.Print(report)
+			if err := w.Verify(env.Store()); err != nil {
+				fail("workload verification after recovery FAILED: %v", err)
+			}
+			fmt.Println("workload invariants verified after recovery")
+		}
+		return
+	}
+
+	env.Hier.DrainClean()
+	if err := w.Verify(env.Store()); err != nil {
+		fail("workload verification FAILED: %v", err)
+	}
+	fmt.Println("workload invariants verified")
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dhtm-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

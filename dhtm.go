@@ -1,0 +1,242 @@
+// Package dhtm is the public API of the DHTM reproduction: a library for
+// building a simulated multicore machine with byte-addressable persistent
+// memory, running ACID transactions on it under one of the evaluated designs
+// (DHTM and the paper's baselines), injecting crashes, and recovering.
+//
+// The typical flow is:
+//
+//	sys, _ := dhtm.NewSystem(dhtm.Config{})          // 8-core machine, DHTM design
+//	heap := sys.Heap()                                // allocate persistent data
+//	addr := heap.AllocLines(1)
+//	sys.RunSingle(0, dhtm.Tx(func(tx dhtm.TxView) error {
+//	    tx.Write(addr, 42)
+//	    return nil
+//	}))
+//	sys.Crash()                                       // drop all volatile state
+//	report, _ := sys.Recover()                        // replay the durable log
+//
+// For multi-core workloads, Execute runs a fixed number of transactions per
+// core under the deterministic scheduler; the workloads and experiments of
+// the paper's evaluation are exposed through internal/harness and the
+// dhtm-bench command.
+package dhtm
+
+import (
+	"fmt"
+
+	"dhtm/internal/baselines"
+	"dhtm/internal/config"
+	"dhtm/internal/core"
+	"dhtm/internal/engine"
+	"dhtm/internal/memdev"
+	"dhtm/internal/palloc"
+	"dhtm/internal/recovery"
+	"dhtm/internal/stats"
+	"dhtm/internal/txn"
+)
+
+// Design selects the transactional-memory design a System runs.
+type Design string
+
+// The evaluated designs (§V of the paper).
+const (
+	DHTM        Design = "DHTM"
+	DHTMInstant Design = "DHTM-instant"
+	DHTML1      Design = "DHTM-L1"
+	SO          Design = "SO"
+	SdTM        Design = "sdTM"
+	ATOM        Design = "ATOM"
+	LogTMATOM   Design = "LogTM-ATOM"
+	NP          Design = "NP"
+)
+
+// Config selects the machine and design parameters. The zero value gives the
+// paper's Table III machine running the DHTM design.
+type Config struct {
+	// Design is the transactional design to instantiate (default DHTM).
+	Design Design
+	// Cores overrides the number of simulated cores (default 8).
+	Cores int
+	// LogBufferEntries overrides DHTM's coalescing log-buffer size (default 64).
+	LogBufferEntries int
+	// BandwidthScale scales the 5.3 GB/s memory bandwidth (default 1.0).
+	BandwidthScale float64
+	// ConflictPolicy selects first-writer-wins (default) or requester-wins.
+	RequesterWins bool
+	// Hardware exposes the full architectural configuration for fine-grained
+	// control; when non-nil it overrides all of the above except Design.
+	Hardware *config.Config
+}
+
+// TxView is the interface transaction bodies use to read and write persistent
+// memory (8-byte words at 8-byte-aligned addresses).
+type TxView = txn.Tx
+
+// Body is a transaction body. Returning a non-nil error requests an abort.
+type Body = func(tx TxView) error
+
+// Tx wraps a body into a Transaction with no lock annotations (sufficient for
+// the HTM designs; lock-based designs serialise such transactions on a single
+// global lock ID).
+func Tx(body Body) *txn.Transaction {
+	return &txn.Transaction{Body: body, LockIDs: []uint64{0}}
+}
+
+// Transaction re-exports the full transaction type for callers that want to
+// declare lock sets for the lock-based designs.
+type Transaction = txn.Transaction
+
+// Stats re-exports the statistics type.
+type Stats = stats.Stats
+
+// RecoveryReport re-exports the recovery manager's report.
+type RecoveryReport = recovery.Report
+
+// System is one simulated machine plus the selected design's runtime.
+type System struct {
+	env     *txn.Env
+	runtime txn.Runtime
+	design  Design
+	heap    *palloc.Heap
+}
+
+// NewSystem builds a simulated machine according to cfg.
+func NewSystem(cfg Config) (*System, error) {
+	hw := config.Default()
+	if cfg.Hardware != nil {
+		hw = *cfg.Hardware
+	} else {
+		if cfg.Cores > 0 {
+			hw.NumCores = cfg.Cores
+		}
+		if cfg.LogBufferEntries > 0 {
+			hw.LogBufferEntries = cfg.LogBufferEntries
+		}
+		if cfg.BandwidthScale > 0 {
+			hw.BandwidthScale = cfg.BandwidthScale
+		}
+		if cfg.RequesterWins {
+			hw.ConflictPolicy = config.RequesterWins
+		}
+	}
+	env, err := txn.NewEnv(hw)
+	if err != nil {
+		return nil, err
+	}
+	design := cfg.Design
+	if design == "" {
+		design = DHTM
+	}
+	var rt txn.Runtime
+	switch design {
+	case DHTM:
+		rt = core.New(env, core.Options{})
+	case DHTMInstant:
+		rt = core.New(env, core.Options{InstantPersist: true})
+	case DHTML1:
+		rt = core.New(env, core.Options{DisableOverflow: true})
+	case SO:
+		rt = baselines.NewSO(env)
+	case SdTM:
+		rt = baselines.NewSdTM(env)
+	case ATOM:
+		rt = baselines.NewATOM(env)
+	case LogTMATOM:
+		rt = baselines.NewLogTMATOM(env)
+	case NP:
+		rt = baselines.NewNP(env)
+	default:
+		return nil, fmt.Errorf("dhtm: unknown design %q", design)
+	}
+	return &System{env: env, runtime: rt, design: design, heap: palloc.New(env.Store())}, nil
+}
+
+// Design returns the design the system runs.
+func (s *System) Design() Design { return s.design }
+
+// Cores returns the number of simulated cores.
+func (s *System) Cores() int { return s.env.Cfg.NumCores }
+
+// Heap returns the persistent-heap allocator for laying out application data.
+func (s *System) Heap() *palloc.Heap { return s.heap }
+
+// Stats returns the system's accumulated statistics.
+func (s *System) Stats() *Stats { return s.env.Stats }
+
+// Store returns the durable persistent-memory image (reads of it see exactly
+// what would survive a crash right now).
+func (s *System) Store() *memdev.Store { return s.env.Ctl.Store() }
+
+// Env exposes the underlying environment for advanced integrations (the
+// harness and the examples use it to drive workloads directly).
+func (s *System) Env() *txn.Env { return s.env }
+
+// Runtime exposes the underlying design runtime.
+func (s *System) Runtime() txn.Runtime { return s.runtime }
+
+// Execute runs one workload function per core under the deterministic
+// scheduler. Each function receives its core index and a Run helper that
+// executes transactions on that core; transactions on different cores
+// interleave according to the timing model.
+func (s *System) Execute(perCore func(core int, run func(*Transaction) bool)) {
+	eng := engine.New(s.env.Cfg.NumCores)
+	eng.Run(func(c int, clk *engine.Clock) {
+		perCore(c, func(t *Transaction) bool {
+			return s.runtime.Run(c, clk, t).Committed
+		})
+		s.runtime.Finish(c, clk)
+	})
+}
+
+// ExecuteWithoutCompletion is Execute without the final per-core completion
+// drain: when it returns, the last transaction of each core has reached its
+// commit point (it is durable in the redo log) but its in-place write-backs
+// may still be pending — exactly the window in which a crash forces the
+// recovery manager to replay the log. Crash-recovery tests and the examples
+// use it to exercise that path.
+func (s *System) ExecuteWithoutCompletion(perCore func(core int, run func(*Transaction) bool)) {
+	eng := engine.New(s.env.Cfg.NumCores)
+	eng.Run(func(c int, clk *engine.Clock) {
+		perCore(c, func(t *Transaction) bool {
+			return s.runtime.Run(c, clk, t).Committed
+		})
+		s.env.Stats.Core(c).FinalCycle = clk.Now()
+	})
+}
+
+// RunSingle executes one transaction on the given core (convenience for
+// examples and tests that do not need concurrency). It reports whether the
+// transaction committed.
+func (s *System) RunSingle(core int, t *Transaction) bool {
+	committed := false
+	eng := engine.New(s.env.Cfg.NumCores)
+	eng.Run(func(c int, clk *engine.Clock) {
+		if c != core {
+			return
+		}
+		committed = s.runtime.Run(c, clk, t).Committed
+		s.runtime.Finish(c, clk)
+	})
+	return committed
+}
+
+// Drain writes all dirty cached data back to persistent memory (an orderly
+// shutdown, as opposed to Crash).
+func (s *System) Drain() { s.env.Hier.DrainClean() }
+
+// Crash discards every piece of volatile state — private caches, the LLC and
+// any in-flight buffering — leaving only what had already reached persistent
+// memory (including the durable transaction logs).
+func (s *System) Crash() { s.env.Hier.Crash() }
+
+// Recover runs the OS recovery manager over the persistent-memory image:
+// committed-but-incomplete transactions are replayed from their redo logs,
+// uncommitted undo-logged transactions are rolled back, and the logs are
+// truncated. It is what a restart after Crash performs.
+func (s *System) Recover() (*RecoveryReport, error) {
+	return recovery.Recover(s.env.Ctl.Store())
+}
+
+// ReadWord reads a word from the durable image (post-crash or post-drain
+// inspection helper).
+func (s *System) ReadWord(addr uint64) uint64 { return s.env.Ctl.Store().ReadWord(addr) }

@@ -1,0 +1,86 @@
+package baselines
+
+import (
+	"dhtm/internal/config"
+	"dhtm/internal/hier"
+	"dhtm/internal/locks"
+	"dhtm/internal/txn"
+)
+
+// lockBase is the shared machinery of the lock-based designs (SO and ATOM):
+// a lock table in persistent memory and two-phase locking with sorted
+// acquisition over each transaction's pre-declared lock set. Visibility is
+// entirely lock-based, so these designs use the hierarchy's NopArbiter.
+type lockBase struct {
+	env   *txn.Env
+	cfg   config.Config
+	h     *hier.Hierarchy
+	table *locks.Table
+}
+
+func newLockBase(env *txn.Env) *lockBase {
+	return &lockBase{
+		env:   env,
+		cfg:   env.Cfg,
+		h:     env.Hier,
+		table: locks.NewTable(env.Cfg, lockTableBase, lockTableSlots),
+	}
+}
+
+// acquire takes every lock in the transaction's lock set (sorted and
+// deduplicated) and returns the resolved addresses for release.
+func (b *lockBase) acquire(core int, c txn.Clock, t *txn.Transaction) []uint64 {
+	addrs := b.table.SortedAddrs(t.LockIDs)
+	b.table.AcquireAll(b.h, core, c, addrs)
+	return addrs
+}
+
+// release drops the locks in reverse order.
+func (b *lockBase) release(core int, c txn.Clock, addrs []uint64) {
+	b.table.ReleaseAll(b.h, core, c, addrs)
+}
+
+// lockedTx performs plain (non-speculative) timed accesses for a lock-based
+// design and tracks the dirty-line set for logging and statistics.
+type lockedTx struct {
+	b     *lockBase
+	core  int
+	clock txn.Clock
+	dirty map[uint64]struct{}
+	read  map[uint64]struct{}
+	// onWrite, when non-nil, runs before each store with the line address and
+	// whether this is the first store to that line in the transaction; the
+	// designs hook their logging here.
+	onWrite func(lineAddr uint64, first bool, addr, val uint64)
+}
+
+// Read implements txn.Tx.
+func (t *lockedTx) Read(addr uint64) uint64 {
+	v, r := t.b.h.Load(t.core, addr, t.clock.Now(), false)
+	t.clock.AdvanceTo(r.Done)
+	t.read[t.b.h.Align(addr)] = struct{}{}
+	return v
+}
+
+// Write implements txn.Tx.
+func (t *lockedTx) Write(addr uint64, val uint64) {
+	la := t.b.h.Align(addr)
+	_, seen := t.dirty[la]
+	if t.onWrite != nil {
+		t.onWrite(la, !seen, addr, val)
+	}
+	r := t.b.h.Store(t.core, addr, val, t.clock.Now(), false)
+	t.clock.AdvanceTo(r.Done)
+	t.dirty[la] = struct{}{}
+}
+
+// finish records per-transaction statistics common to the lock-based designs.
+func (b *lockBase) finish(core int, c txn.Clock, res *txn.ExecResult, dirty, read int) {
+	cst := b.env.Stats.Core(core)
+	cst.Commits++
+	cst.WriteSetLines += uint64(dirty)
+	cst.ReadSetLines += uint64(read)
+	cst.TxCycles += c.Now() - res.Start
+	res.End = c.Now()
+	res.Committed = true
+}

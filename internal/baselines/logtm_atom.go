@@ -1,0 +1,184 @@
+package baselines
+
+import (
+	"dhtm/internal/htm"
+	"dhtm/internal/stats"
+	"dhtm/internal/txn"
+	"dhtm/internal/wal"
+)
+
+// LogTMATOM combines a LogTM-like HTM (eager version management, write-set
+// overflow from the L1 permitted via sticky directory state) with ATOM's
+// hardware undo logging for atomic durability. The paper introduces this
+// combination as a previously unstudied design point. Its defining cost is
+// that, with undo logging, the whole write set must be persisted in place in
+// the commit critical path before the transaction can complete; its aborts
+// also pay for walking the undo log.
+type LogTMATOM struct {
+	*htmBase
+	// undoPersistAt tracks, per core, when the last undo record becomes
+	// durable (commit must wait for it before writing data in place).
+	undoPersistAt []uint64
+	undoRecords   []int
+	txids         []uint64
+}
+
+// NewLogTMATOM builds the runtime and installs its arbiter.
+func NewLogTMATOM(env *txn.Env) *LogTMATOM {
+	l := &LogTMATOM{htmBase: newHTMBase(env, true)}
+	l.undoPersistAt = make([]uint64, env.Cfg.NumCores)
+	l.undoRecords = make([]int, env.Cfg.NumCores)
+	l.txids = make([]uint64, env.Cfg.NumCores)
+	l.onAbort = l.abortUndo
+	env.Hier.SetArbiter(l.htmBase)
+	return l
+}
+
+// Name implements txn.Runtime.
+func (l *LogTMATOM) Name() string { return "LogTM-ATOM" }
+
+// ltTx issues transactional accesses and, on the first store to each line,
+// writes a hardware undo record carrying the pre-transaction value.
+type ltTx struct {
+	l     *LogTMATOM
+	core  int
+	clock txn.Clock
+}
+
+// Read implements txn.Tx.
+func (t ltTx) Read(addr uint64) uint64 { return t.l.read(t.core, t.clock, addr) }
+
+// Write implements txn.Tx.
+func (t ltTx) Write(addr uint64, val uint64) {
+	l, core := t.l, t.core
+	la := l.h.Align(addr)
+	ctx := l.ctxs[core]
+	if _, seen := ctx.WriteLines[la]; !seen {
+		// Hardware undo logging: capture the old value before it is
+		// overwritten; the record write consumes bandwidth off the critical
+		// path.
+		rec := &wal.Record{Type: wal.RecUndo, TxID: l.txids[core], LineAddr: la, Data: l.h.LineSnapshot(core, la)}
+		if done, err := l.env.Registry.Log(core).Append(rec, t.clock.Now()); err == nil {
+			l.env.Stats.LogRecords++
+			l.undoRecords[core]++
+			if done > l.undoPersistAt[core] {
+				l.undoPersistAt[core] = done
+			}
+		} else {
+			l.abort(core, stats.AbortLogOverflow, t.clock.Now())
+			txn.AbortNow(stats.AbortLogOverflow)
+		}
+	}
+	l.write(core, t.clock, addr, val)
+}
+
+// Run implements txn.Runtime.
+func (l *LogTMATOM) Run(core int, c txn.Clock, t *txn.Transaction) txn.ExecResult {
+	ctx := l.ctxs[core]
+	res := txn.ExecResult{Start: c.Now()}
+	for attempt := 0; ; attempt++ {
+		if attempt >= l.cfg.MaxRetries {
+			l.runFallback(core, c, t, true, l.env.Registry.Log(core))
+			l.env.Stats.Core(core).Fallbacks++
+			l.env.Stats.Core(core).AbortsByReason[stats.AbortFallback]++
+			l.env.Stats.Core(core).Commits++
+			res.Committed = true
+			res.End = c.Now()
+			return res
+		}
+		l.begin(core, c)
+		l.txids[core] = l.env.Registry.Log(core).BeginTx()
+		l.undoPersistAt[core] = 0
+		l.undoRecords[core] = 0
+		err, ok, reason := txn.Attempt(t.Body, ltTx{l: l, core: core, clock: c})
+		if ok && err == nil && !ctx.Doomed && ctx.State == htm.Active {
+			l.commitInPlace(core, c)
+			l.finishTx(core, c, &res)
+			return res
+		}
+		switch {
+		case ok && err != nil:
+			reason = stats.AbortExplicit
+		case ok:
+			reason = ctx.Reason
+		}
+		l.abort(core, reason, c.Now())
+		res.Aborts++
+		l.recordAbort(core, c, reason, attempt)
+	}
+}
+
+// commitInPlace waits for the undo log to be durable, makes the write set
+// visible, then persists every write-set line in place — from the L1 and from
+// overflowed LLC lines — before the commit record is written. This in-place
+// persistence is on the critical path, which is exactly the overhead DHTM's
+// redo logging removes.
+func (l *LogTMATOM) commitInPlace(core int, c txn.Clock) {
+	ctx := l.ctxs[core]
+	log := l.env.Registry.Log(core)
+	c.AdvanceTo(l.undoPersistAt[core])
+
+	// With undo logging the write set may not become visible until it is
+	// durable in place (another thread could otherwise consume and commit a
+	// value that a crash would roll back). The flush therefore happens while
+	// the transaction still holds its write set — conflicting requesters keep
+	// aborting during this window, which is the cost DHTM's redo commit
+	// removes — and visibility is granted afterwards.
+	lines := make([]uint64, 0, len(ctx.WriteLines))
+	for la := range ctx.WriteLines {
+		lines = append(lines, la)
+	}
+	done := c.Now()
+	for _, la := range lines {
+		var d uint64
+		if ln := l.h.L1(core).Peek(la); ln != nil && ln.Valid() {
+			d, _ = l.h.WriteBackL1Line(core, la, c.Now())
+		} else if ll := l.h.LLC().Peek(la); ll != nil && ll.Valid() {
+			d, _ = l.h.WriteBackLLCLine(la, c.Now())
+		} else {
+			d = l.h.PersistLineInPlace(la, l.h.LineSnapshot(core, la), c.Now())
+		}
+		if d > done {
+			done = d
+		}
+	}
+	c.AdvanceTo(done)
+	l.commitVisibility(core)
+	if d, err := log.Append(&wal.Record{Type: wal.RecCommit, TxID: l.txids[core]}, c.Now()); err == nil {
+		c.AdvanceTo(d)
+	}
+	if d, err := log.Append(&wal.Record{Type: wal.RecComplete, TxID: l.txids[core]}, c.Now()); err == nil {
+		c.AdvanceTo(d)
+	}
+	log.EndTx(l.txids[core])
+}
+
+// abortUndo is the design-specific abort work: the undo log must be walked
+// and applied before conflicting transactions can observe the line again
+// (LogTM stalls them with NACKs; the cost is charged to this core's
+// completion time), and the log is logically cleared with an abort record.
+func (l *LogTMATOM) abortUndo(core int, at uint64) {
+	if l.undoRecords[core] == 0 {
+		return
+	}
+	log := l.env.Registry.Log(core)
+	n := uint64(l.undoRecords[core])
+	// Reading the undo records back and restoring the old values costs a
+	// line transfer each way per record.
+	cost := n * (2*l.cfg.LineTransferCycles() + l.cfg.NVMWriteLatency/4)
+	if at+cost > l.ctxs[core].CompletionAt {
+		l.ctxs[core].CompletionAt = at + cost
+	}
+	if _, err := log.Append(&wal.Record{Type: wal.RecAbort, TxID: l.txids[core]}, at); err == nil {
+		l.env.Stats.LogRecords++
+	}
+	log.EndTx(l.txids[core])
+	l.undoRecords[core] = 0
+	l.undoPersistAt[core] = 0
+}
+
+// Finish implements txn.Runtime.
+func (l *LogTMATOM) Finish(core int, c txn.Clock) {
+	c.AdvanceTo(l.ctxs[core].CompletionAt)
+	l.env.Stats.Core(core).FinalCycle = c.Now()
+}

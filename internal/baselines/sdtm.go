@@ -1,0 +1,159 @@
+package baselines
+
+import (
+	"dhtm/internal/htm"
+	"dhtm/internal/stats"
+	"dhtm/internal/txn"
+	"dhtm/internal/wal"
+)
+
+// SdTM is the "software durability + hardware transactional memory" baseline
+// (PHyTM-style): an RTM-like HTM provides atomic visibility and a
+// Mnemosyne-style software redo log provides atomic durability. The log
+// entries are ordinary stores issued inside the hardware transaction, so they
+// join the write set and roughly double its footprint (Figure 1b), which in
+// turn drives up the abort rate (Table V). The log is flushed and the commit
+// record made durable on the critical path after the HTM commit, before the
+// thread may proceed.
+type SdTM struct {
+	*htmBase
+	// softCursor is the per-core cursor into the in-cache software log area;
+	// entries are 16 bytes so every fourth entry starts a new cache line that
+	// becomes part of the transaction's write set.
+	softCursor []uint64
+	// txLogLines counts, per core, the software-log entries of the current
+	// transaction (used to reset the cursor on abort).
+	txEntries []int
+}
+
+// NewSdTM builds the sdTM runtime and installs its arbiter.
+func NewSdTM(env *txn.Env) *SdTM {
+	s := &SdTM{htmBase: newHTMBase(env, false)}
+	for i := 0; i < env.Cfg.NumCores; i++ {
+		s.softCursor = append(s.softCursor, softLogBase+uint64(i)*softLogBytesPerCore)
+		s.txEntries = append(s.txEntries, 0)
+	}
+	env.Hier.SetArbiter(s.htmBase)
+	return s
+}
+
+// Name implements txn.Runtime.
+func (s *SdTM) Name() string { return "sdTM" }
+
+// sdTx issues the data store plus the software log-entry store inside the
+// hardware transaction.
+type sdTx struct {
+	s     *SdTM
+	core  int
+	clock txn.Clock
+}
+
+// Read implements txn.Tx.
+func (t sdTx) Read(addr uint64) uint64 { return t.s.read(t.core, t.clock, addr) }
+
+// Write implements txn.Tx.
+func (t sdTx) Write(addr uint64, val uint64) {
+	s, core := t.s, t.core
+	s.write(core, t.clock, addr, val)
+	// Software redo-log entry: (address, value), 16 bytes, written inside the
+	// transaction. Writing the first word of the entry is enough to bring the
+	// log line into the write set.
+	entry := s.nextEntryAddr(core)
+	s.write(core, t.clock, entry, addr)
+	s.write(core, t.clock, entry+8, val)
+}
+
+// nextEntryAddr returns the address of the next 16-byte software log entry
+// for core, wrapping within the per-core region.
+func (s *SdTM) nextEntryAddr(core int) uint64 {
+	base := softLogBase + uint64(core)*softLogBytesPerCore
+	off := s.softCursor[core]
+	entry := off
+	next := off + 16
+	if next >= base+softLogBytesPerCore {
+		next = base
+	}
+	s.softCursor[core] = next
+	s.txEntries[core]++
+	return entry
+}
+
+// Run implements txn.Runtime.
+func (s *SdTM) Run(core int, c txn.Clock, t *txn.Transaction) txn.ExecResult {
+	ctx := s.ctxs[core]
+	res := txn.ExecResult{Start: c.Now()}
+	for attempt := 0; ; attempt++ {
+		if attempt >= s.cfg.MaxRetries {
+			s.runFallback(core, c, t, true, s.env.Registry.Log(core))
+			s.env.Stats.Core(core).Fallbacks++
+			s.env.Stats.Core(core).AbortsByReason[stats.AbortFallback]++
+			s.env.Stats.Core(core).Commits++
+			res.Committed = true
+			res.End = c.Now()
+			return res
+		}
+		s.begin(core, c)
+		s.txEntries[core] = 0
+		err, ok, reason := txn.Attempt(t.Body, sdTx{s: s, core: core, clock: c})
+		if ok && err == nil && !ctx.Doomed && ctx.State == htm.Active {
+			s.commitDurable(core, c)
+			s.finishTx(core, c, &res)
+			return res
+		}
+		switch {
+		case ok && err != nil:
+			reason = stats.AbortExplicit
+		case ok:
+			reason = ctx.Reason
+		}
+		s.abort(core, reason, c.Now())
+		res.Aborts++
+		s.recordAbort(core, c, reason, attempt)
+	}
+}
+
+// commitDurable performs the HTM commit for visibility and then, on the
+// critical path, makes the transaction durable: the software log entries are
+// flushed (modelled as durable-log appends of the dirty lines), a fence
+// drains them, and the commit record is persisted. Only then may the core
+// move on.
+func (s *SdTM) commitDurable(core int, c txn.Clock) {
+	ctx := s.ctxs[core]
+	log := s.env.Registry.Log(core)
+	s.commitVisibility(core)
+
+	txid := log.BeginTx()
+	persist := c.Now()
+	for la := range ctx.WriteLines {
+		if s.isSoftLogLine(la) {
+			continue
+		}
+		rec := &wal.Record{Type: wal.RecRedo, TxID: txid, LineAddr: la, Data: s.h.LineSnapshot(core, la)}
+		if done, err := log.Append(rec, c.Now()); err == nil {
+			s.env.Stats.LogRecords++
+			if done > persist {
+				persist = done
+			}
+		}
+		c.Advance(s.cfg.FlushIssueLatency)
+	}
+	c.AdvanceTo(persist)
+	c.Advance(s.cfg.FenceLatency)
+	if done, err := log.Append(&wal.Record{Type: wal.RecCommit, TxID: txid}, c.Now()); err == nil {
+		c.AdvanceTo(done)
+	}
+	// In-place data persists lazily via evictions (Mnemosyne defers log
+	// truncation); the measured window treats the log space as ample.
+	log.EndTx(txid)
+}
+
+// isSoftLogLine reports whether a line belongs to the in-cache software log
+// region (those lines inflate the write set but are not data to log).
+func (s *SdTM) isSoftLogLine(la uint64) bool {
+	return la >= softLogBase && la < softLogBase+uint64(s.cfg.NumCores)*softLogBytesPerCore
+}
+
+// Finish implements txn.Runtime.
+func (s *SdTM) Finish(core int, c txn.Clock) {
+	s.env.Stats.Core(core).FinalCycle = c.Now()
+}

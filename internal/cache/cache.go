@@ -1,0 +1,241 @@
+// Package cache implements the set-associative cache arrays used for both the
+// private L1 data caches and the shared last-level cache (LLC). L1 lines carry
+// the transactional read/write bits of an RTM-like HTM; LLC lines additionally
+// carry the directory state (owner, sharer vector, dirty bit) and the
+// "sticky" marker DHTM uses for write-set lines that overflowed from an L1.
+package cache
+
+import (
+	"fmt"
+
+	"dhtm/internal/memdev"
+)
+
+// State is the MESI-style coherence state recorded for a line. The simulator
+// collapses E into M (an E line that is written becomes M silently, exactly as
+// in MESI), so only three states are needed.
+type State uint8
+
+const (
+	// Invalid marks an unused way.
+	Invalid State = iota
+	// Shared means one or more cores may hold a read-only copy.
+	Shared
+	// Modified means a single core owns the line with write permission.
+	Modified
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// NoOwner is the directory owner value meaning "no owning core".
+const NoOwner = -1
+
+// Line is one cache way.
+type Line struct {
+	Addr  uint64 // line-aligned address (the full address doubles as the tag)
+	State State
+	Dirty bool
+
+	// Transactional metadata (meaningful in L1s).
+	R bool // read inside the current transaction
+	W bool // written inside the current transaction
+
+	// Directory metadata (meaningful in the LLC).
+	Owner   int    // core owning the line in Modified state, or NoOwner
+	Sharers uint64 // bitmask of cores holding a Shared copy
+	Sticky  bool   // DHTM: data overflowed from the owner's L1; dir state kept stale
+
+	Data memdev.Line
+
+	lru uint64
+}
+
+// Valid reports whether the way holds a line.
+func (l *Line) Valid() bool { return l.State != Invalid }
+
+// Reset clears the way back to Invalid.
+func (l *Line) Reset() {
+	*l = Line{Owner: NoOwner}
+}
+
+// HasSharer reports whether core is in the sharer vector.
+func (l *Line) HasSharer(core int) bool { return l.Sharers&(1<<uint(core)) != 0 }
+
+// AddSharer adds core to the sharer vector.
+func (l *Line) AddSharer(core int) { l.Sharers |= 1 << uint(core) }
+
+// RemoveSharer removes core from the sharer vector.
+func (l *Line) RemoveSharer(core int) { l.Sharers &^= 1 << uint(core) }
+
+// Cache is a set-associative array of Lines with LRU replacement.
+type Cache struct {
+	sets     [][]Line
+	numSets  int
+	ways     int
+	lineSize uint64
+	tick     uint64
+}
+
+// New builds a cache of sizeBytes capacity with the given associativity and
+// line size. sizeBytes must be an exact multiple of ways*lineSize.
+func New(sizeBytes, ways, lineSize int) *Cache {
+	if sizeBytes <= 0 || ways <= 0 || lineSize <= 0 || sizeBytes%(ways*lineSize) != 0 {
+		panic(fmt.Sprintf("cache: invalid geometry size=%d ways=%d line=%d", sizeBytes, ways, lineSize))
+	}
+	numSets := sizeBytes / (ways * lineSize)
+	c := &Cache{
+		sets:     make([][]Line, numSets),
+		numSets:  numSets,
+		ways:     ways,
+		lineSize: uint64(lineSize),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]Line, ways)
+		for w := range c.sets[i] {
+			c.sets[i][w].Owner = NoOwner
+		}
+	}
+	return c
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.numSets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Lines returns the total capacity in lines.
+func (c *Cache) Lines() int { return c.numSets * c.ways }
+
+// setIndex maps a line address to its set.
+func (c *Cache) setIndex(lineAddr uint64) int {
+	return int((lineAddr / c.lineSize) % uint64(c.numSets))
+}
+
+// Align returns the line-aligned address containing addr.
+func (c *Cache) Align(addr uint64) uint64 { return addr &^ (c.lineSize - 1) }
+
+// Lookup returns the line holding addr, bumping its LRU age, or nil on a miss.
+func (c *Cache) Lookup(addr uint64) *Line {
+	l := c.Peek(addr)
+	if l != nil {
+		c.tick++
+		l.lru = c.tick
+	}
+	return l
+}
+
+// Peek returns the line holding addr without disturbing LRU state.
+func (c *Cache) Peek(addr uint64) *Line {
+	la := c.Align(addr)
+	set := c.sets[c.setIndex(la)]
+	for i := range set {
+		if set[i].Valid() && set[i].Addr == la {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Victim returns the way that an insertion of addr would evict: an invalid
+// way if one exists, otherwise the LRU way of the set. It never returns nil.
+// The returned pointer aliases cache storage; callers handle the old contents
+// (write-back, overflow, abort) and may then reuse the way via PlaceAt.
+func (c *Cache) Victim(addr uint64) *Line {
+	la := c.Align(addr)
+	set := c.sets[c.setIndex(la)]
+	var victim *Line
+	for i := range set {
+		if !set[i].Valid() {
+			return &set[i]
+		}
+		if victim == nil || set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	return victim
+}
+
+// PlaceAt installs a new line for addr in the given way (obtained from
+// Victim), resetting all metadata and marking it most recently used.
+func (c *Cache) PlaceAt(way *Line, addr uint64, state State, data memdev.Line) *Line {
+	way.Reset()
+	way.Addr = c.Align(addr)
+	way.State = state
+	way.Data = data
+	c.tick++
+	way.lru = c.tick
+	return way
+}
+
+// Invalidate drops the line containing addr if present.
+func (c *Cache) Invalidate(addr uint64) {
+	if l := c.Peek(addr); l != nil {
+		l.Reset()
+	}
+}
+
+// ForEach visits every valid line. The callback may mutate the line but must
+// not invalidate other lines.
+func (c *Cache) ForEach(f func(*Line)) {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			if c.sets[s][w].Valid() {
+				f(&c.sets[s][w])
+			}
+		}
+	}
+}
+
+// CountIf returns the number of valid lines satisfying pred.
+func (c *Cache) CountIf(pred func(*Line) bool) int {
+	n := 0
+	c.ForEach(func(l *Line) {
+		if pred(l) {
+			n++
+		}
+	})
+	return n
+}
+
+// Clear invalidates every line (used to model a crash: caches are volatile).
+func (c *Cache) Clear() {
+	for s := range c.sets {
+		for w := range c.sets[s] {
+			c.sets[s][w].Reset()
+		}
+	}
+}
+
+// ReadWord returns the word at addr from a line already present; it panics if
+// the line is absent, which indicates a simulator bug rather than a program
+// error.
+func (c *Cache) ReadWord(addr uint64) uint64 {
+	l := c.Peek(addr)
+	if l == nil {
+		panic(fmt.Sprintf("cache: ReadWord on absent line %#x", addr))
+	}
+	return l.Data[int(addr%c.lineSize)/8]
+}
+
+// WriteWord updates the word at addr in a line already present; it panics if
+// the line is absent.
+func (c *Cache) WriteWord(addr uint64, val uint64) {
+	l := c.Peek(addr)
+	if l == nil {
+		panic(fmt.Sprintf("cache: WriteWord on absent line %#x", addr))
+	}
+	l.Data[int(addr%c.lineSize)/8] = val
+}

@@ -1,0 +1,111 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dhtm/internal/memdev"
+)
+
+func newSmall() *Cache { return New(4*1024, 4, 64) } // 16 sets, 4 ways
+
+// TestInsertLookup checks the basic place/lookup cycle.
+func TestInsertLookup(t *testing.T) {
+	c := newSmall()
+	way := c.Victim(0x1000)
+	if way.Valid() {
+		t.Fatalf("victim in an empty cache is valid")
+	}
+	line := c.PlaceAt(way, 0x1010, Shared, memdev.Line{1, 2, 3})
+	if line.Addr != 0x1000 {
+		t.Fatalf("placed line address %#x, want line-aligned 0x1000", line.Addr)
+	}
+	got := c.Lookup(0x1038)
+	if got == nil || got.Data[0] != 1 {
+		t.Fatalf("lookup of another word in the same line failed")
+	}
+	if c.Lookup(0x2000) != nil {
+		t.Fatalf("lookup of an absent line hit")
+	}
+}
+
+// TestVictimPrefersInvalidThenLRU checks replacement policy.
+func TestVictimPrefersInvalidThenLRU(t *testing.T) {
+	c := New(4*64, 4, 64) // a single set with 4 ways
+	addrs := []uint64{0x0, 0x1000, 0x2000, 0x3000}
+	for _, a := range addrs {
+		c.PlaceAt(c.Victim(a), a, Modified, memdev.Line{})
+	}
+	// Touch everything except 0x1000 so it becomes LRU.
+	c.Lookup(0x0)
+	c.Lookup(0x2000)
+	c.Lookup(0x3000)
+	v := c.Victim(0x4000)
+	if !v.Valid() || v.Addr != 0x1000 {
+		t.Fatalf("victim is %#x, want the LRU line 0x1000", v.Addr)
+	}
+}
+
+// TestInvalidateAndClear checks invalidation paths.
+func TestInvalidateAndClear(t *testing.T) {
+	c := newSmall()
+	c.PlaceAt(c.Victim(0x40), 0x40, Modified, memdev.Line{9})
+	c.Invalidate(0x40)
+	if c.Lookup(0x40) != nil {
+		t.Fatalf("line still present after Invalidate")
+	}
+	c.PlaceAt(c.Victim(0x80), 0x80, Shared, memdev.Line{})
+	c.Clear()
+	if n := c.CountIf(func(*Line) bool { return true }); n != 0 {
+		t.Fatalf("%d lines survive Clear", n)
+	}
+}
+
+// TestWordAccessors checks ReadWord/WriteWord on present lines.
+func TestWordAccessors(t *testing.T) {
+	c := newSmall()
+	c.PlaceAt(c.Victim(0x100), 0x100, Modified, memdev.Line{})
+	c.WriteWord(0x118, 77)
+	if got := c.ReadWord(0x118); got != 77 {
+		t.Fatalf("ReadWord = %d, want 77", got)
+	}
+}
+
+// TestSharerVector checks the directory bitmap helpers.
+func TestSharerVector(t *testing.T) {
+	var l Line
+	l.AddSharer(3)
+	l.AddSharer(5)
+	if !l.HasSharer(3) || !l.HasSharer(5) || l.HasSharer(4) {
+		t.Fatalf("sharer vector wrong: %b", l.Sharers)
+	}
+	l.RemoveSharer(3)
+	if l.HasSharer(3) {
+		t.Fatalf("sharer 3 still present after removal")
+	}
+}
+
+// TestPropertyCapacityRespected: no matter the insertion sequence, the number
+// of valid lines never exceeds the capacity, and a just-inserted line is
+// always found until something else in its set evicts it.
+func TestPropertyCapacityRespected(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := New(2*1024, 2, 64) // 16 sets, 2 ways
+		for _, a := range addrs {
+			addr := uint64(a) * 64
+			way := c.Victim(addr)
+			c.PlaceAt(way, addr, Shared, memdev.Line{uint64(a)})
+			if c.Peek(addr) == nil {
+				return false
+			}
+			if c.CountIf(func(*Line) bool { return true }) > c.Lines() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+package config
+
+import "testing"
+
+// TestDefaultIsValid checks the paper's configuration validates.
+func TestDefaultIsValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default configuration invalid: %v", err)
+	}
+}
+
+// TestValidateRejectsBadGeometry checks a few representative invalid configs.
+func TestValidateRejectsBadGeometry(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.NumCores = 0 },
+		func(c *Config) { c.LineSize = 60 },
+		func(c *Config) { c.L1Size = 1000 },
+		func(c *Config) { c.MemBandwidthGBs = 0 },
+		func(c *Config) { c.ReadSignatureBits = 1000 }, // not a power of two
+		func(c *Config) { c.BandwidthScale = 0 },
+		func(c *Config) { c.ConflictPolicy = ConflictPolicy(9) },
+	}
+	for i, mutate := range cases {
+		cfg := Default()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid configuration accepted", i)
+		}
+	}
+}
+
+// TestGeometryDerivations checks the derived cache geometry and the bandwidth
+// to cycle conversion against hand-computed values for Table III.
+func TestGeometryDerivations(t *testing.T) {
+	cfg := Default()
+	if got := cfg.L1Sets(); got != 128 {
+		t.Errorf("L1Sets = %d, want 128 (32 KB / 64 B / 4 ways)", got)
+	}
+	if got := cfg.L1Lines(); got != 512 {
+		t.Errorf("L1Lines = %d, want 512", got)
+	}
+	if got := cfg.LLCSets(); got != 8192 {
+		t.Errorf("LLCSets = %d, want 8192 (8 MB / 64 B / 16 ways)", got)
+	}
+	// 64 B at 5.3 GB/s and 2 GHz is ~24 cycles.
+	if got := cfg.LineTransferCycles(); got < 20 || got > 28 {
+		t.Errorf("LineTransferCycles = %d, want ~24", got)
+	}
+	if got := cfg.LineAddr(0x12345); got != 0x12340 {
+		t.Errorf("LineAddr = %#x, want 0x12340", got)
+	}
+	if cfg.WordsPerLine() != 8 {
+		t.Errorf("WordsPerLine = %d, want 8", cfg.WordsPerLine())
+	}
+}

@@ -1,0 +1,184 @@
+// Package engine provides the deterministic multi-core scheduling substrate
+// for the architectural simulator. Each simulated core runs as its own
+// goroutine with a private cycle clock, but only the core with the globally
+// minimum clock is ever allowed to touch shared simulator state. Cores hand
+// the "token" back to the engine every time they advance their clock, so the
+// interleaving of memory-system operations is fully determined by the timing
+// model, never by the Go runtime scheduler.
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Clock is a simulated core's private cycle counter plus its handle on the
+// scheduling token. All simulator-facing operations of a core must be
+// performed between Acquire (implicit in the engine callbacks) and the next
+// Advance/AdvanceTo call.
+type Clock struct {
+	core int
+	now  uint64
+	e    *Engine
+}
+
+// Core returns the core index this clock belongs to.
+func (c *Clock) Core() int { return c.core }
+
+// Now returns the core's current cycle.
+func (c *Clock) Now() uint64 { return c.now }
+
+// Advance moves the core's clock forward by delta cycles and yields the
+// scheduling token so that any core now lagging behind can catch up before
+// this core performs its next shared-state operation.
+func (c *Clock) Advance(delta uint64) {
+	c.now += delta
+	c.e.yield(c.core, c.now)
+}
+
+// AdvanceTo moves the core's clock to cycle (if it is in the future) and
+// yields. Advancing to the past is a no-op besides yielding.
+func (c *Clock) AdvanceTo(cycle uint64) {
+	if cycle > c.now {
+		c.now = cycle
+	}
+	c.e.yield(c.core, c.now)
+}
+
+// Yield hands the token back without changing the clock. Useful inside spin
+// loops that poll shared state at the same cycle.
+func (c *Clock) Yield() {
+	c.e.yield(c.core, c.now)
+}
+
+// Engine runs one goroutine per core under min-clock-first scheduling.
+type Engine struct {
+	mu      sync.Mutex
+	clocks  []uint64
+	done    []bool
+	parked  []chan struct{}
+	started bool
+}
+
+// New creates an engine for n cores.
+func New(n int) *Engine {
+	if n <= 0 {
+		panic(fmt.Sprintf("engine: non-positive core count %d", n))
+	}
+	e := &Engine{
+		clocks: make([]uint64, n),
+		done:   make([]bool, n),
+		parked: make([]chan struct{}, n),
+	}
+	for i := range e.parked {
+		e.parked[i] = make(chan struct{}, 1)
+	}
+	return e
+}
+
+// Cores returns the number of cores managed by the engine.
+func (e *Engine) Cores() int { return len(e.clocks) }
+
+// Run executes body(core, clock) once per core, interleaved so that the core
+// with the smallest clock always runs first. It returns when every body has
+// returned, and reports the final per-core clocks.
+//
+// A body that panics propagates the panic out of Run after the other cores
+// are released, so test failures surface instead of deadlocking.
+func (e *Engine) Run(body func(core int, c *Clock)) []uint64 {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		panic("engine: Run called twice")
+	}
+	e.started = true
+	e.mu.Unlock()
+
+	n := len(e.clocks)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	panics := make(chan interface{}, n)
+
+	for i := 0; i < n; i++ {
+		go func(core int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r
+				}
+				e.finish(core)
+			}()
+			c := &Clock{core: core, e: e}
+			// Wait for our first turn before touching shared state.
+			e.yield(core, 0)
+			body(core, c)
+			c.e.mu.Lock()
+			c.e.clocks[core] = c.now
+			c.e.mu.Unlock()
+		}(i)
+	}
+
+	wg.Wait()
+	close(panics)
+	if r, ok := <-panics; ok {
+		panic(r)
+	}
+	out := make([]uint64, n)
+	e.mu.Lock()
+	copy(out, e.clocks)
+	e.mu.Unlock()
+	return out
+}
+
+// yield records the caller's clock and blocks until the caller is the active
+// core with the minimum clock among non-finished cores (ties broken by core
+// index). Wake-ups are re-validated against the current minimum so a stale
+// token buffered in the core's channel can never let it run out of order.
+func (e *Engine) yield(core int, now uint64) {
+	e.mu.Lock()
+	e.clocks[core] = now
+	for {
+		next := e.minCoreLocked()
+		if next == core || next < 0 {
+			e.mu.Unlock()
+			return
+		}
+		// Wake the lagging core, then wait for our own turn.
+		e.wakeLocked(next)
+		e.mu.Unlock()
+		<-e.parked[core]
+		e.mu.Lock()
+	}
+}
+
+// finish marks a core as completed and wakes whichever core should run next.
+func (e *Engine) finish(core int) {
+	e.mu.Lock()
+	e.done[core] = true
+	if next := e.minCoreLocked(); next >= 0 {
+		e.wakeLocked(next)
+	}
+	e.mu.Unlock()
+}
+
+// minCoreLocked returns the unfinished core with the smallest clock, or -1.
+func (e *Engine) minCoreLocked() int {
+	best := -1
+	for i := range e.clocks {
+		if e.done[i] {
+			continue
+		}
+		if best < 0 || e.clocks[i] < e.clocks[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// wakeLocked makes core runnable without blocking if it is already runnable.
+func (e *Engine) wakeLocked(core int) {
+	select {
+	case e.parked[core] <- struct{}{}:
+	default:
+	}
+}

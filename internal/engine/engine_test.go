@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestMinClockOrdering checks that operations are globally ordered by core
+// clock: a shared trace built under the scheduler must have non-decreasing
+// timestamps.
+func TestMinClockOrdering(t *testing.T) {
+	const cores = 4
+	e := New(cores)
+	type event struct {
+		core int
+		at   uint64
+	}
+	var trace []event
+	e.Run(func(core int, c *Clock) {
+		for i := 0; i < 50; i++ {
+			trace = append(trace, event{core: core, at: c.Now()})
+			c.Advance(uint64(1 + (core+i)%7))
+		}
+	})
+	if len(trace) != cores*50 {
+		t.Fatalf("trace has %d events, want %d", len(trace), cores*50)
+	}
+	for i := 1; i < len(trace); i++ {
+		if trace[i].at < trace[i-1].at {
+			t.Fatalf("event %d at cycle %d recorded after event %d at cycle %d",
+				i, trace[i].at, i-1, trace[i-1].at)
+		}
+	}
+}
+
+// TestRunReturnsFinalClocks checks the per-core clocks reported by Run.
+func TestRunReturnsFinalClocks(t *testing.T) {
+	e := New(3)
+	final := e.Run(func(core int, c *Clock) {
+		c.Advance(uint64(100 * (core + 1)))
+	})
+	for core, want := range []uint64{100, 200, 300} {
+		if final[core] != want {
+			t.Errorf("core %d final clock = %d, want %d", core, final[core], want)
+		}
+	}
+}
+
+// TestExclusiveExecution checks that only one core's body runs at a time
+// (the property all shared simulator state relies on).
+func TestExclusiveExecution(t *testing.T) {
+	e := New(8)
+	var inside int32
+	e.Run(func(core int, c *Clock) {
+		for i := 0; i < 200; i++ {
+			if atomic.AddInt32(&inside, 1) != 1 {
+				t.Errorf("two cores ran concurrently")
+			}
+			atomic.AddInt32(&inside, -1)
+			c.Advance(1)
+		}
+	})
+}
+
+// TestAdvanceToBackwardsIsNoop ensures clocks never run backwards.
+func TestAdvanceToBackwardsIsNoop(t *testing.T) {
+	e := New(1)
+	e.Run(func(core int, c *Clock) {
+		c.Advance(50)
+		c.AdvanceTo(10)
+		if c.Now() != 50 {
+			t.Errorf("AdvanceTo moved the clock backwards to %d", c.Now())
+		}
+		c.AdvanceTo(80)
+		if c.Now() != 80 {
+			t.Errorf("AdvanceTo(80) left the clock at %d", c.Now())
+		}
+	})
+}
+
+// TestUnevenFinish checks that the engine drains correctly when cores finish
+// at very different times.
+func TestUnevenFinish(t *testing.T) {
+	e := New(4)
+	counts := make([]int, 4)
+	e.Run(func(core int, c *Clock) {
+		for i := 0; i < (core+1)*25; i++ {
+			counts[core]++
+			c.Advance(3)
+		}
+	})
+	for core, n := range counts {
+		if n != (core+1)*25 {
+			t.Errorf("core %d executed %d steps, want %d", core, n, (core+1)*25)
+		}
+	}
+}

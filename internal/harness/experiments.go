@@ -1,0 +1,346 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"dhtm/internal/config"
+	"dhtm/internal/stats"
+	"dhtm/internal/workloads"
+)
+
+// Table4WriteSets reproduces Table IV: the mean write-set size, in cache
+// lines, of every workload (measured on the volatile NP design so logging
+// does not perturb the footprint).
+func Table4WriteSets(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "Table IV",
+		Title:   "Workloads and their write-set sizes (# cache lines)",
+		Columns: []string{"workload", "write-set lines", "read-set lines", "paper"},
+		Notes: []string{
+			"paper values: TPC-C 590, TATP 167, queue 52, hash 58, sdg 56, sps 63, btree 61, rbtree 53",
+			"the shape to preserve is OLTP >> micro-benchmarks, with TPC-C exceeding the 32 KB L1",
+		},
+	}
+	paper := map[string]string{
+		"tpcc": "590", "tatp": "167", "queue": "52", "hash": "58",
+		"sdg": "56", "sps": "63", "btree": "61", "rbtree": "53",
+	}
+	names := append([]string{"tpcc", "tatp"}, workloads.MicroNames()...)
+	for _, name := range names {
+		oltp := name == "tpcc" || name == "tatp"
+		res, err := Execute(RunSpec{
+			Design:    DesignNP,
+			Workload:  name,
+			Cfg:       o.baseConfig(),
+			TxPerCore: o.txCount(oltp),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("table4: %s: %w", name, err)
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmt.Sprintf("%.0f", res.Stats.MeanWriteSetLines()),
+			fmt.Sprintf("%.0f", res.Stats.MeanReadSetLines()),
+			paper[name],
+		})
+	}
+	return t, nil
+}
+
+// microThroughput runs one design across all micro-benchmarks and returns
+// throughput (tx per million cycles) per workload plus the resulting stats.
+func microThroughput(o Options, design string) (map[string]float64, map[string]*stats.Stats, error) {
+	th := make(map[string]float64)
+	st := make(map[string]*stats.Stats)
+	for _, name := range workloads.MicroNames() {
+		res, err := Execute(RunSpec{
+			Design:    design,
+			Workload:  name,
+			Cfg:       o.baseConfig(),
+			TxPerCore: o.txCount(false),
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s/%s: %w", design, name, err)
+		}
+		th[name] = res.Throughput()
+		st[name] = res.Stats
+	}
+	return th, st, nil
+}
+
+// Figure5Throughput reproduces Figure 5: the transaction throughput of sdTM,
+// ATOM, LogTM-ATOM and DHTM on the micro-benchmarks, normalized to SO.
+func Figure5Throughput(o Options) (*Table, error) {
+	designs := []string{DesignSO, DesignSdTM, DesignATOM, DesignLogTMATOM, DesignDHTM}
+	perDesign := make(map[string]map[string]float64)
+	for _, d := range designs {
+		th, _, err := microThroughput(o, d)
+		if err != nil {
+			return nil, err
+		}
+		perDesign[d] = th
+	}
+	t := &Table{
+		ID:      "Figure 5",
+		Title:   "Transaction throughput normalized to SO",
+		Columns: append([]string{"design"}, append(workloads.MicroNames(), "geo-mean")...),
+		Notes: []string{
+			"paper averages: sdTM 1.20, ATOM 1.35, LogTM-ATOM 1.44, DHTM 1.61",
+			"expected ordering: SO < sdTM < ATOM < LogTM-ATOM < DHTM",
+		},
+	}
+	for _, d := range designs {
+		row := []string{d}
+		prod, n := 1.0, 0
+		for _, w := range workloads.MicroNames() {
+			ratio := ratioTo(perDesign[d][w], perDesign[DesignSO][w])
+			row = append(row, fmtRatio(ratio))
+			prod *= ratio
+			n++
+		}
+		row = append(row, fmtRatio(geoMean(prod, n)))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Table5AbortRates reproduces Table V: abort rates of sdTM and DHTM on the
+// micro-benchmarks.
+func Table5AbortRates(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "Table V",
+		Title:   "Abort rates (%) for sdTM and DHTM",
+		Columns: append([]string{"design"}, append(workloads.MicroNames(), "mean")...),
+		Notes: []string{
+			"paper: sdTM 68/19/23/27/37/46 (avg 37), DHTM 46/5/13/16/18/26 (avg 21)",
+			"expected shape: DHTM aborts less than sdTM on every workload; queue is the worst case",
+		},
+	}
+	for _, d := range []string{DesignSdTM, DesignDHTM} {
+		_, st, err := microThroughput(o, d)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{d}
+		var sum float64
+		for _, w := range workloads.MicroNames() {
+			rate := st[w].AbortRate()
+			row = append(row, fmtPercent(rate))
+			sum += rate
+		}
+		row = append(row, fmtPercent(sum/float64(len(workloads.MicroNames()))))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Figure6LogBuffer reproduces Figure 6: DHTM throughput on hash as a function
+// of the log-buffer size, normalized to SO.
+func Figure6LogBuffer(o Options) (*Table, error) {
+	soRes, err := Execute(RunSpec{
+		Design: DesignSO, Workload: "hash", Cfg: o.baseConfig(), TxPerCore: o.txCount(false),
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "Figure 6",
+		Title:   "DHTM throughput on hash vs log-buffer size (normalized to SO)",
+		Columns: []string{"log-buffer entries", "normalized throughput", "log bytes / tx"},
+		Notes: []string{
+			"paper: throughput rises with buffer size, saturates at 64 entries, dips slightly at 128",
+			"small buffers waste bandwidth on un-coalesced records; very large buffers push log writes into the commit path",
+		},
+	}
+	for _, size := range []int{4, 8, 16, 32, 64, 128} {
+		res, err := Execute(RunSpec{
+			Design: DesignDHTM, Workload: "hash", Cfg: o.baseConfig(),
+			TxPerCore: o.txCount(false), LogBufferEntries: size,
+		})
+		if err != nil {
+			return nil, err
+		}
+		logPerTx := float64(res.Stats.LogBytes) / float64(res.Committed)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", size),
+			fmtRatio(ratioTo(res.Throughput(), soRes.Throughput())),
+			fmt.Sprintf("%.0f", logPerTx),
+		})
+	}
+	return t, nil
+}
+
+// Table6OLTP reproduces Table VI: TPC-C and TATP throughput of ATOM and DHTM
+// normalized to SO.
+func Table6OLTP(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "Table VI",
+		Title:   "OLTP transaction throughput normalized to SO",
+		Columns: []string{"workload", "SO", "ATOM", "DHTM"},
+		Notes: []string{
+			"paper: TPC-C — ATOM 1.67, DHTM 1.88; TATP — ATOM 1.27, DHTM 1.53",
+			"expected ordering on both workloads: SO < ATOM < DHTM",
+		},
+	}
+	for _, w := range []string{"tpcc", "tatp"} {
+		ths := make(map[string]float64)
+		for _, d := range []string{DesignSO, DesignATOM, DesignDHTM} {
+			res, err := Execute(RunSpec{
+				Design: d, Workload: w, Cfg: o.baseConfig(), TxPerCore: o.txCount(true),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("table6: %s/%s: %w", d, w, err)
+			}
+			ths[d] = res.Throughput()
+		}
+		t.Rows = append(t.Rows, []string{
+			w,
+			fmtRatio(1.0),
+			fmtRatio(ratioTo(ths[DesignATOM], ths[DesignSO])),
+			fmtRatio(ratioTo(ths[DesignDHTM], ths[DesignSO])),
+		})
+	}
+	return t, nil
+}
+
+// Table7Bandwidth reproduces Table VII: NP and DHTM throughput on hash,
+// normalized to SO, while the memory bandwidth is scaled 1x / 2x / 10x.
+func Table7Bandwidth(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "Table VII",
+		Title:   "Throughput normalized to SO on hash with varying memory bandwidth",
+		Columns: []string{"bandwidth", "NP", "DHTM", "gap"},
+		Notes: []string{
+			"paper: NP 2.9/3.0/3.3 and DHTM 1.9/2.4/3.0 at 1x/2x/10x",
+			"expected shape: the NP-DHTM gap narrows as bandwidth grows (durability is bandwidth-bound)",
+		},
+	}
+	for _, scale := range []float64{1, 2, 10} {
+		cfg := o.baseConfig()
+		cfg.BandwidthScale = scale
+		ths := make(map[string]float64)
+		for _, d := range []string{DesignSO, DesignNP, DesignDHTM} {
+			res, err := Execute(RunSpec{
+				Design: d, Workload: "hash", Cfg: cfg, TxPerCore: o.txCount(false),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("table7: %s@%gx: %w", d, scale, err)
+			}
+			ths[d] = res.Throughput()
+		}
+		np := ratioTo(ths[DesignNP], ths[DesignSO])
+		dh := ratioTo(ths[DesignDHTM], ths[DesignSO])
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%gx", scale),
+			fmtRatio(np),
+			fmtRatio(dh),
+			fmtRatio(ratioTo(np, dh)),
+		})
+	}
+	return t, nil
+}
+
+// DurabilityCost reproduces the §VI.D analysis: the throughput of NP and of
+// an idealised DHTM whose log/data writes are instantaneous, relative to SO
+// and DHTM, averaged over the micro-benchmarks.
+func DurabilityCost(o Options) (*Table, error) {
+	designs := []string{DesignSO, DesignDHTM, DesignDHTMInstant, DesignNP}
+	per := make(map[string]map[string]float64)
+	for _, d := range designs {
+		th, _, err := microThroughput(o, d)
+		if err != nil {
+			return nil, err
+		}
+		per[d] = th
+	}
+	t := &Table{
+		ID:      "Section VI.D",
+		Title:   "The cost of atomic durability (micro-benchmark geo-means, normalized to SO)",
+		Columns: []string{"design", "normalized throughput"},
+		Notes: []string{
+			"paper: NP is about 2.2x SO (≈59% above DHTM); instantaneous log/data writes gain DHTM ≈16%",
+			"expected ordering: DHTM < DHTM-instant < NP",
+		},
+	}
+	for _, d := range designs {
+		prod, n := 1.0, 0
+		for _, w := range workloads.MicroNames() {
+			prod *= ratioTo(per[d][w], per[DesignSO][w])
+			n++
+		}
+		t.Rows = append(t.Rows, []string{d, fmtRatio(geoMean(prod, n))})
+	}
+	return t, nil
+}
+
+// Ablations quantifies DHTM's individual design choices on the hash and tpcc
+// workloads: disabling L1-to-LLC overflow (PTM-like, L1-limited), disabling
+// the coalescing log buffer (word-granular logging), and switching the
+// conflict-resolution policy to requester-wins.
+func Ablations(o Options) (*Table, error) {
+	t := &Table{
+		ID:      "Ablations",
+		Title:   "DHTM design ablations (throughput normalized to full DHTM)",
+		Columns: []string{"variant", "hash", "tpcc"},
+		Notes: []string{
+			"DHTM-L1 shows what the LLC-overflow extension buys (largest on OLTP)",
+			"DHTM-nobuf shows what log coalescing buys (bandwidth-bound workloads)",
+		},
+	}
+	workloadsUnder := []string{"hash", "tpcc"}
+	base := make(map[string]float64)
+	for _, w := range workloadsUnder {
+		res, err := Execute(RunSpec{
+			Design: DesignDHTM, Workload: w, Cfg: o.baseConfig(),
+			TxPerCore: o.txCount(w == "tpcc"),
+		})
+		if err != nil {
+			return nil, err
+		}
+		base[w] = res.Throughput()
+	}
+	variants := []struct {
+		name   string
+		design string
+		policy config.ConflictPolicy
+	}{
+		{"DHTM (baseline)", DesignDHTM, config.FirstWriterWins},
+		{"DHTM-L1 (no overflow)", DesignDHTML1, config.FirstWriterWins},
+		{"DHTM-nobuf (no coalescing)", DesignDHTMNoBuf, config.FirstWriterWins},
+		{"DHTM requester-wins", DesignDHTM, config.RequesterWins},
+	}
+	for _, v := range variants {
+		row := []string{v.name}
+		for _, w := range workloadsUnder {
+			cfg := o.baseConfig()
+			cfg.ConflictPolicy = v.policy
+			res, err := Execute(RunSpec{
+				Design: v.design, Workload: w, Cfg: cfg,
+				TxPerCore: o.txCount(w == "tpcc"),
+			})
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, fmtRatio(ratioTo(res.Throughput(), base[w])))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// ratioTo guards against division by zero when normalising throughputs.
+func ratioTo(v, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return v / base
+}
+
+// geoMean finishes a running product of n ratios.
+func geoMean(prod float64, n int) float64 {
+	if n == 0 || prod <= 0 {
+		return 0
+	}
+	return math.Pow(prod, 1/float64(n))
+}

@@ -1,0 +1,222 @@
+// Package harness defines the experiments of the paper's evaluation section
+// (§VI): each table and figure has a corresponding experiment that builds
+// fresh simulated machines, runs the relevant (design, workload) pairs and
+// renders the same rows or series the paper reports. cmd/dhtm-bench and the
+// benchmarks in bench_test.go are thin wrappers around this package.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dhtm/internal/baselines"
+	"dhtm/internal/config"
+	"dhtm/internal/core"
+	"dhtm/internal/txn"
+	"dhtm/internal/workloads"
+)
+
+// Design names accepted by NewRuntime.
+const (
+	DesignSO          = "SO"
+	DesignSdTM        = "sdTM"
+	DesignATOM        = "ATOM"
+	DesignLogTMATOM   = "LogTM-ATOM"
+	DesignNP          = "NP"
+	DesignDHTM        = "DHTM"
+	DesignDHTMInstant = "DHTM-instant"
+	DesignDHTML1      = "DHTM-L1"
+	DesignDHTMNoBuf   = "DHTM-nobuf"
+)
+
+// Designs lists every runnable design name.
+func Designs() []string {
+	return []string{DesignSO, DesignSdTM, DesignATOM, DesignLogTMATOM, DesignNP,
+		DesignDHTM, DesignDHTMInstant, DesignDHTML1, DesignDHTMNoBuf}
+}
+
+// NewRuntime constructs the named design over a fresh environment.
+func NewRuntime(env *txn.Env, design string) (txn.Runtime, error) {
+	switch design {
+	case DesignSO:
+		return baselines.NewSO(env), nil
+	case DesignSdTM:
+		return baselines.NewSdTM(env), nil
+	case DesignATOM:
+		return baselines.NewATOM(env), nil
+	case DesignLogTMATOM:
+		return baselines.NewLogTMATOM(env), nil
+	case DesignNP:
+		return baselines.NewNP(env), nil
+	case DesignDHTM:
+		return core.New(env, core.Options{}), nil
+	case DesignDHTMInstant:
+		return core.New(env, core.Options{InstantPersist: true}), nil
+	case DesignDHTML1:
+		return core.New(env, core.Options{DisableOverflow: true}), nil
+	case DesignDHTMNoBuf:
+		return core.New(env, core.Options{DisableLogBuffer: true}), nil
+	default:
+		return nil, fmt.Errorf("harness: unknown design %q (known: %v)", design, Designs())
+	}
+}
+
+// RunSpec describes one simulation run.
+type RunSpec struct {
+	Design    string
+	Workload  string
+	Cfg       config.Config
+	Params    workloads.Params
+	TxPerCore int
+	// LogBufferEntries overrides the DHTM log-buffer size when > 0 (Figure 6).
+	LogBufferEntries int
+}
+
+// Execute builds a fresh machine for the spec and runs it to completion.
+func Execute(spec RunSpec) (workloads.RunResult, error) {
+	cfg := spec.Cfg
+	if cfg.NumCores == 0 {
+		cfg = config.Default()
+	}
+	if spec.LogBufferEntries > 0 {
+		cfg.LogBufferEntries = spec.LogBufferEntries
+	}
+	env, err := txn.NewEnv(cfg)
+	if err != nil {
+		return workloads.RunResult{}, err
+	}
+	rt, err := NewRuntime(env, spec.Design)
+	if err != nil {
+		return workloads.RunResult{}, err
+	}
+	w, err := workloads.New(spec.Workload)
+	if err != nil {
+		return workloads.RunResult{}, err
+	}
+	p := spec.Params
+	p.Cores = cfg.NumCores
+	txPerCore := spec.TxPerCore
+	if txPerCore <= 0 {
+		txPerCore = 16
+	}
+	return workloads.Run(env, rt, w, p, txPerCore, true)
+}
+
+// Options scales the experiments (Quick shrinks transaction counts so the
+// whole suite finishes in seconds; the defaults give more stable numbers).
+type Options struct {
+	Cores     int
+	TxPerCore int
+	Quick     bool
+	Out       io.Writer
+}
+
+// txCount picks the per-core transaction count for a workload class.
+func (o Options) txCount(oltp bool) int {
+	if o.TxPerCore > 0 {
+		return o.TxPerCore
+	}
+	switch {
+	case o.Quick && oltp:
+		return 3
+	case o.Quick:
+		return 8
+	case oltp:
+		return 8
+	default:
+		return 24
+	}
+}
+
+// baseConfig returns the Table III configuration, optionally overriding the
+// core count.
+func (o Options) baseConfig() config.Config {
+	cfg := config.Default()
+	if o.Cores > 0 {
+		cfg.NumCores = o.Cores
+	}
+	return cfg
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render writes the table in an aligned plain-text format.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Experiment is one reproducible table or figure from the paper.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o Options) (*Table, error)
+}
+
+// Experiments returns every experiment in the order of the paper.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "table4", Title: "Workload write-set sizes (Table IV)", Run: Table4WriteSets},
+		{ID: "fig5", Title: "Micro-benchmark throughput normalized to SO (Figure 5)", Run: Figure5Throughput},
+		{ID: "table5", Title: "Abort rates for sdTM and DHTM (Table V)", Run: Table5AbortRates},
+		{ID: "fig6", Title: "DHTM sensitivity to log-buffer size, hash (Figure 6)", Run: Figure6LogBuffer},
+		{ID: "table6", Title: "TPC-C and TATP throughput normalized to SO (Table VI)", Run: Table6OLTP},
+		{ID: "table7", Title: "NP and DHTM vs memory bandwidth, hash (Table VII)", Run: Table7Bandwidth},
+		{ID: "durability", Title: "The cost of atomic durability (Section VI.D)", Run: DurabilityCost},
+		{ID: "ablation", Title: "DHTM design ablations (overflow, log buffer, conflict policy)", Run: Ablations},
+	}
+}
+
+// Find looks an experiment up by ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// fmtRatio renders a throughput ratio the way the paper reports it.
+func fmtRatio(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// fmtPercent renders a rate as a whole percentage.
+func fmtPercent(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }

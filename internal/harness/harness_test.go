@@ -1,0 +1,75 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"dhtm/internal/config"
+	"dhtm/internal/txn"
+)
+
+// TestNewRuntimeKnowsEveryDesign checks the design factory.
+func TestNewRuntimeKnowsEveryDesign(t *testing.T) {
+	for _, d := range Designs() {
+		cfg := config.Default()
+		cfg.NumCores = 2
+		env, err := txn.NewEnv(cfg)
+		if err != nil {
+			t.Fatalf("env: %v", err)
+		}
+		rt, err := NewRuntime(env, d)
+		if err != nil {
+			t.Fatalf("NewRuntime(%s): %v", d, err)
+		}
+		if rt.Name() == "" {
+			t.Errorf("design %s has an empty name", d)
+		}
+	}
+	if _, err := NewRuntime(nil, "nonsense"); err == nil {
+		t.Errorf("unknown design accepted")
+	}
+}
+
+// TestExecuteSmallRun checks the Execute plumbing end to end on a tiny run.
+func TestExecuteSmallRun(t *testing.T) {
+	cfg := config.Default()
+	cfg.NumCores = 2
+	res, err := Execute(RunSpec{Design: DesignDHTM, Workload: "sps", Cfg: cfg, TxPerCore: 2})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Committed != 4 {
+		t.Fatalf("committed %d transactions, want 4", res.Committed)
+	}
+	if res.Throughput() <= 0 {
+		t.Fatalf("non-positive throughput")
+	}
+}
+
+// TestExperimentsRegistered checks every experiment is findable and that the
+// quickest one renders a well-formed table.
+func TestExperimentsRegistered(t *testing.T) {
+	ids := []string{"table4", "fig5", "table5", "fig6", "table6", "table7", "durability", "ablation"}
+	for _, id := range ids {
+		if _, ok := Find(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if _, ok := Find("nope"); ok {
+		t.Errorf("bogus experiment found")
+	}
+}
+
+// TestTableRender checks table formatting.
+func TestTableRender(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "demo", Columns: []string{"a", "bb"},
+		Rows: [][]string{{"1", "2"}}, Notes: []string{"n"}}
+	var sb strings.Builder
+	tbl.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"X — demo", "a", "bb", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package hier
+
+import (
+	"testing"
+
+	"dhtm/internal/cache"
+	"dhtm/internal/config"
+	"dhtm/internal/memdev"
+	"dhtm/internal/stats"
+)
+
+func newHier(cores int) (*Hierarchy, *memdev.Store) {
+	cfg := config.Default()
+	cfg.NumCores = cores
+	st := stats.New(cores)
+	store := memdev.NewStore()
+	ctl := memdev.NewController(cfg, store, st)
+	return New(cfg, ctl, st), store
+}
+
+// TestLoadStoreRoundtrip checks basic functional correctness through the
+// caches, including write-back on eviction pressure via DrainClean.
+func TestLoadStoreRoundtrip(t *testing.T) {
+	h, store := newHier(2)
+	store.WriteWord(0x10000, 5)
+
+	v, r := h.Load(0, 0x10000, 0, false)
+	if v != 5 || r.Aborted {
+		t.Fatalf("initial load got %d (aborted=%v), want 5", v, r.Aborted)
+	}
+	if r.Level != 3 {
+		t.Fatalf("first load level = %d, want 3 (memory)", r.Level)
+	}
+	sr := h.Store(0, 0x10000, 9, r.Done, false)
+	if sr.Aborted {
+		t.Fatalf("store aborted unexpectedly")
+	}
+	v2, r2 := h.Load(0, 0x10000, sr.Done, false)
+	if v2 != 9 || r2.Level != 1 {
+		t.Fatalf("reload got %d at level %d, want 9 at L1", v2, r2.Level)
+	}
+	// The durable image still has the old value until a write-back.
+	if store.ReadWord(0x10000) != 5 {
+		t.Fatalf("store reached NVM without a write-back")
+	}
+	h.DrainClean()
+	if store.ReadWord(0x10000) != 9 {
+		t.Fatalf("DrainClean did not write dirty data back")
+	}
+}
+
+// TestCoherenceTransfersData checks that a value written by one core is read
+// by another through forwarding, and that latencies grow with distance.
+func TestCoherenceTransfersData(t *testing.T) {
+	h, _ := newHier(2)
+	sr := h.Store(0, 0x20000, 77, 0, false)
+	v, r := h.Load(1, 0x20000, sr.Done, false)
+	if v != 77 {
+		t.Fatalf("core 1 read %d, want 77 written by core 0", v)
+	}
+	if r.Done-sr.Done < h.cfg.LLCLatency {
+		t.Fatalf("cross-core transfer completed too quickly (%d cycles)", r.Done-sr.Done)
+	}
+	// After the transfer both cores can hit locally.
+	_, r0 := h.Load(0, 0x20000, r.Done, false)
+	_, r1 := h.Load(1, 0x20000, r.Done, false)
+	if r0.Level != 1 || r1.Level != 1 {
+		t.Fatalf("post-transfer loads not L1 hits (levels %d, %d)", r0.Level, r1.Level)
+	}
+}
+
+// recordingArbiter counts the hook invocations the hierarchy makes.
+type recordingArbiter struct {
+	NopArbiter
+	inTx       map[int]bool
+	conflicts  int
+	lastOwner  int
+	proceed    bool
+	wsEvict    int
+	rsEvict    int
+	llcEvicted int
+}
+
+func (a *recordingArbiter) InTx(core int) bool { return a.inTx[core] }
+func (a *recordingArbiter) OnConflict(req, owner int, addr uint64, write, reqTx bool, at uint64) bool {
+	a.conflicts++
+	a.lastOwner = owner
+	return a.proceed
+}
+func (a *recordingArbiter) OnWriteSetEviction(core int, addr uint64, at uint64) bool {
+	a.wsEvict++
+	return true
+}
+func (a *recordingArbiter) OnReadSetEviction(core int, addr uint64, at uint64) { a.rsEvict++ }
+func (a *recordingArbiter) OnLLCTxEviction(core int, addr uint64, at uint64)   { a.llcEvicted++ }
+
+// TestConflictDetectionOnWriteSet checks that a remote access to a
+// transactional dirty line is routed through the arbiter and that a losing
+// requester gets an Aborted result.
+func TestConflictDetectionOnWriteSet(t *testing.T) {
+	h, _ := newHier(2)
+	arb := &recordingArbiter{inTx: map[int]bool{0: true}, proceed: false}
+	h.SetArbiter(arb)
+
+	sr := h.Store(0, 0x30000, 1, 0, true)
+	if sr.Aborted {
+		t.Fatalf("transactional store aborted with no conflict present")
+	}
+	if l := h.L1(0).Peek(0x30000); l == nil || !l.W {
+		t.Fatalf("write bit not set on the transactional line")
+	}
+	_, lr := h.Load(1, 0x30000, sr.Done, true)
+	if arb.conflicts != 1 || arb.lastOwner != 0 {
+		t.Fatalf("conflict hook not invoked for the owning core (%d calls)", arb.conflicts)
+	}
+	if !lr.Aborted || lr.ConflictWith != 0 {
+		t.Fatalf("losing requester not told to abort: %+v", lr)
+	}
+
+	// With the arbiter now letting accesses proceed (owner aborted), the
+	// requester sees the pre-transactional value from memory.
+	arb.proceed = true
+	arb.inTx[0] = false
+	h.L1(0).Invalidate(0x30000) // what the owner's abort would have done
+	v, lr2 := h.Load(1, 0x30000, lr.Done, true)
+	if lr2.Aborted || v != 0 {
+		t.Fatalf("post-abort load got %d (aborted=%v), want pre-transactional 0", v, lr2.Aborted)
+	}
+}
+
+// TestReadSetEvictionGoesToSignature checks that evicting a read-set line
+// notifies the arbiter (which maintains the overflow signature).
+func TestReadSetEvictionGoesToSignature(t *testing.T) {
+	cfg := config.Default()
+	cfg.NumCores = 1
+	cfg.L1Size = 4 * 64 * 2 // 2 sets, 4 ways: tiny L1 to force evictions
+	st := stats.New(1)
+	ctl := memdev.NewController(cfg, memdev.NewStore(), st)
+	h := New(cfg, ctl, st)
+	arb := &recordingArbiter{inTx: map[int]bool{0: true}, proceed: true}
+	h.SetArbiter(arb)
+
+	at := uint64(0)
+	for i := 0; i < 12; i++ {
+		_, r := h.Load(0, uint64(i)*128, at, true)
+		at = r.Done
+	}
+	if arb.rsEvict == 0 {
+		t.Fatalf("no read-set evictions reported despite overflowing a tiny L1")
+	}
+}
+
+// TestWriteSetOverflowKeepsStickyState checks the DHTM-enabling behaviour:
+// when the arbiter allows a write-set eviction, the line moves to the LLC
+// dirty and sticky with the directory still pointing at the owner.
+func TestWriteSetOverflowKeepsStickyState(t *testing.T) {
+	cfg := config.Default()
+	cfg.NumCores = 1
+	cfg.L1Size = 4 * 64 * 2
+	st := stats.New(1)
+	ctl := memdev.NewController(cfg, memdev.NewStore(), st)
+	h := New(cfg, ctl, st)
+	arb := &recordingArbiter{inTx: map[int]bool{0: true}, proceed: true}
+	h.SetArbiter(arb)
+
+	at := uint64(0)
+	for i := 0; i < 12; i++ {
+		r := h.Store(0, uint64(i)*128, uint64(i), at, true)
+		at = r.Done
+	}
+	if arb.wsEvict == 0 {
+		t.Fatalf("no write-set evictions reported")
+	}
+	sticky := h.LLC().CountIf(func(l *cache.Line) bool { return l.Sticky && l.Owner == 0 && l.Dirty })
+	if sticky == 0 {
+		t.Fatalf("no sticky overflowed lines present in the LLC")
+	}
+}
+
+// TestCrashDiscardsCaches checks the failure model.
+func TestCrashDiscardsCaches(t *testing.T) {
+	h, store := newHier(1)
+	h.Store(0, 0x50000, 123, 0, false)
+	h.Crash()
+	if h.L1(0).Peek(0x50000) != nil || h.LLC().Peek(0x50000) != nil {
+		t.Fatalf("caches survived the crash")
+	}
+	if store.ReadWord(0x50000) != 0 {
+		t.Fatalf("unwritten-back data survived the crash in NVM")
+	}
+}
+
+// TestFlushAndWriteBackHelpers checks the persistence primitives designs use.
+func TestFlushAndWriteBackHelpers(t *testing.T) {
+	h, store := newHier(1)
+	sr := h.Store(0, 0x60000, 11, 0, false)
+	done := h.FlushLine(0, 0x60000, sr.Done)
+	if store.ReadWord(0x60000) != 11 {
+		t.Fatalf("FlushLine did not persist the line")
+	}
+	if done <= sr.Done {
+		t.Fatalf("FlushLine reported no latency")
+	}
+	h.Store(0, 0x60000, 12, done, true)
+	if d, ok := h.WriteBackL1Line(0, 0x60000, done); !ok || store.ReadWord(0x60000) != 12 || d <= done {
+		t.Fatalf("WriteBackL1Line did not persist the new value")
+	}
+	if l := h.L1(0).Peek(0x60000); l == nil || l.W || l.Dirty {
+		t.Fatalf("WriteBackL1Line did not clean the cached line")
+	}
+	if !h.CompleteL1Line(0, 0x60000) {
+		t.Fatalf("CompleteL1Line did not find the line")
+	}
+}

@@ -1,0 +1,170 @@
+// Package htm provides the RTM-like hardware-transactional-memory machinery
+// shared by every HTM-based design in the evaluation (NP, sdTM, LogTM-ATOM
+// and DHTM): per-core transaction contexts with read/write-set bookkeeping,
+// the read-set overflow Bloom signature kept next to the L1, and the
+// conflict-resolution policies (first-writer-wins and requester-wins).
+package htm
+
+import (
+	"fmt"
+
+	"dhtm/internal/config"
+	"dhtm/internal/stats"
+)
+
+// State is the lifecycle state of a hardware transaction (Figure 3 of the
+// paper). Committed and Aborted are the windows between the commit/abort
+// point and the corresponding completion point; designs without a completion
+// phase go straight back to Idle.
+type State int
+
+const (
+	// Idle means no transaction is in flight on the core.
+	Idle State = iota
+	// Active means the transaction is executing.
+	Active
+	// Committed means the commit point was reached (log records durable) but
+	// write-back completion is still pending.
+	Committed
+	// Aborted means the abort point was reached but overflow-invalidation
+	// completion is still pending.
+	Aborted
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Active:
+		return "active"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Signature is the read-set overflow signature: a Bloom filter over line
+// addresses of read-set lines that were evicted from the L1. False positives
+// are allowed (they cause spurious conflicts, as in real hardware); false
+// negatives are not.
+type Signature struct {
+	bits  []uint64
+	nbits uint64
+	count int
+}
+
+// NewSignature builds a signature with the given number of bits (a power of
+// two, per config validation).
+func NewSignature(nbits int) *Signature {
+	return &Signature{bits: make([]uint64, (nbits+63)/64), nbits: uint64(nbits)}
+}
+
+// hashes derives two independent bit positions from a line address.
+func (s *Signature) hashes(lineAddr uint64) (uint64, uint64) {
+	x := lineAddr >> 6
+	// 64-bit mix (splitmix64 finaliser) for the first hash.
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	h1 := x % s.nbits
+	h2 := (x >> 32) % s.nbits
+	return h1, h2
+}
+
+// Add inserts a line address.
+func (s *Signature) Add(lineAddr uint64) {
+	h1, h2 := s.hashes(lineAddr)
+	s.bits[h1/64] |= 1 << (h1 % 64)
+	s.bits[h2/64] |= 1 << (h2 % 64)
+	s.count++
+}
+
+// Contains reports whether the line address may have been added.
+func (s *Signature) Contains(lineAddr uint64) bool {
+	if s.count == 0 {
+		return false
+	}
+	h1, h2 := s.hashes(lineAddr)
+	return s.bits[h1/64]&(1<<(h1%64)) != 0 && s.bits[h2/64]&(1<<(h2%64)) != 0
+}
+
+// Empty reports whether nothing has been added since the last Clear.
+func (s *Signature) Empty() bool { return s.count == 0 }
+
+// Clear resets the signature (flash clear at commit/abort).
+func (s *Signature) Clear() {
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+	s.count = 0
+}
+
+// Ctx is the per-core transactional context.
+type Ctx struct {
+	State  State
+	TxID   uint64
+	Sig    *Signature
+	Doomed bool
+	Reason stats.AbortReason
+
+	// WriteLines and ReadLines track the distinct cache lines touched by the
+	// current transaction. The hardware equivalents are the W/R bits plus the
+	// overflow structures; the runtime keeps these mirrors for commit/abort
+	// processing and for the write-set-size characterisation (Table IV).
+	WriteLines map[uint64]struct{}
+	ReadLines  map[uint64]struct{}
+
+	// CompletionAt is the cycle at which the previous transaction's
+	// completion phase (write-backs or overflow invalidations) finishes; a
+	// new transaction may not begin before it.
+	CompletionAt uint64
+}
+
+// NewCtx builds an idle context with a signature of the configured size.
+func NewCtx(cfg config.Config) *Ctx {
+	return &Ctx{
+		Sig:        NewSignature(cfg.ReadSignatureBits),
+		WriteLines: make(map[uint64]struct{}),
+		ReadLines:  make(map[uint64]struct{}),
+	}
+}
+
+// BeginReset prepares the context for a new transaction attempt.
+func (c *Ctx) BeginReset() {
+	c.State = Active
+	c.Doomed = false
+	c.Sig.Clear()
+	for k := range c.WriteLines {
+		delete(c.WriteLines, k)
+	}
+	for k := range c.ReadLines {
+		delete(c.ReadLines, k)
+	}
+}
+
+// Doom marks the transaction as having lost a conflict (or otherwise being
+// forced to abort) so the owning core unwinds at its next transactional
+// access.
+func (c *Ctx) Doom(reason stats.AbortReason) {
+	if c.State == Active && !c.Doomed {
+		c.Doomed = true
+		c.Reason = reason
+	}
+}
+
+// OwnerShouldAbort applies a conflict-resolution policy: it reports whether
+// the transaction currently holding the line (the "owner", i.e. the first
+// writer) must abort so the requester can proceed. A non-transactional
+// requester always wins, preserving strong isolation.
+func OwnerShouldAbort(policy config.ConflictPolicy, requesterTx bool) bool {
+	if !requesterTx {
+		return true
+	}
+	return policy == config.RequesterWins
+}

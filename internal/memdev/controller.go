@@ -1,0 +1,140 @@
+package memdev
+
+import (
+	"dhtm/internal/config"
+	"dhtm/internal/stats"
+)
+
+// TrafficClass labels NVM traffic for accounting purposes.
+type TrafficClass int
+
+const (
+	// TrafficData is in-place data movement (line fills and write-backs).
+	TrafficData TrafficClass = iota
+	// TrafficLog is durable-log traffic (redo/undo records, commit markers,
+	// overflow-list entries, software log flushes).
+	TrafficLog
+)
+
+// Controller is the persistent-memory controller. It performs the functional
+// access against the backing Store and charges device latency plus channel
+// occupancy, so that heavy logging from one core delays everybody else's
+// memory traffic — the effect behind Figure 6 and Table VII of the paper.
+//
+// The controller is used from the single core that currently holds the
+// scheduling token, so it needs no locking.
+type Controller struct {
+	cfg   config.Config
+	store *Store
+	st    *stats.Stats
+
+	// channelFreeAt is the cycle at which the memory channel next becomes
+	// idle. Requests issued earlier queue behind it.
+	channelFreeAt uint64
+}
+
+// NewController wires a controller to a backing store.
+func NewController(cfg config.Config, store *Store, st *stats.Stats) *Controller {
+	return &Controller{cfg: cfg, store: store, st: st}
+}
+
+// Store exposes the durable backing store (recovery and verification read it
+// directly; timed accesses should go through the controller).
+func (c *Controller) Store() *Store { return c.store }
+
+// Config returns the controller's configuration.
+func (c *Controller) Config() config.Config { return c.cfg }
+
+// occupy reserves channel time for n bytes starting no earlier than at and
+// returns the cycle at which the transfer begins.
+func (c *Controller) occupy(n int, at uint64) uint64 {
+	start := at
+	if c.channelFreeAt > start {
+		start = c.channelFreeAt
+	}
+	c.channelFreeAt = start + c.cfg.TransferCycles(n)
+	return start
+}
+
+// ChannelFreeAt reports when the memory channel next becomes idle.
+func (c *Controller) ChannelFreeAt() uint64 { return c.channelFreeAt }
+
+// ReadLine fetches the line containing addr. The returned cycle is when the
+// data is available at the LLC.
+func (c *Controller) ReadLine(addr uint64, at uint64) (Line, uint64) {
+	start := c.occupy(LineBytes, at)
+	if c.st != nil {
+		c.st.DataReadBytes += LineBytes
+	}
+	return c.store.ReadLine(addr), start + c.cfg.NVMReadLatency
+}
+
+// WriteLine writes a full line in place. The returned cycle is when the write
+// is durable.
+func (c *Controller) WriteLine(addr uint64, data Line, at uint64, class TrafficClass) uint64 {
+	start := c.occupy(LineBytes, at)
+	c.store.WriteLine(addr, data)
+	c.account(LineBytes, class)
+	return start + c.cfg.NVMWriteLatency
+}
+
+// WriteWords writes a sequence of 8-byte words starting at addr (8-byte
+// aligned), charging bandwidth for the actual byte count. It is the primitive
+// used for durable log appends and overflow-list entries, which the paper's
+// hardware streams past the LLC straight to memory.
+func (c *Controller) WriteWords(addr uint64, words []uint64, at uint64, class TrafficClass) uint64 {
+	n := len(words) * 8
+	if n == 0 {
+		return at
+	}
+	start := c.occupy(n, at)
+	for i, w := range words {
+		c.store.WriteWord(addr+uint64(i*8), w)
+	}
+	c.account(n, class)
+	return start + c.cfg.NVMWriteLatency
+}
+
+// ReserveWrite reserves channel occupancy and device write latency for n
+// bytes without performing a functional write. DHTM's commit uses it to
+// account for the completion phase's in-place write-backs at the moment the
+// hardware issues them, while the functional effect is applied when the
+// completion phase finishes (keeping the crash model honest: the data is not
+// in the durable image until completion).
+func (c *Controller) ReserveWrite(n int, at uint64, class TrafficClass) uint64 {
+	if n <= 0 {
+		return at
+	}
+	start := c.occupy(n, at)
+	c.account(n, class)
+	return start + c.cfg.NVMWriteLatency
+}
+
+// ReadWords reads count words starting at addr, charging bandwidth.
+func (c *Controller) ReadWords(addr uint64, count int, at uint64) ([]uint64, uint64) {
+	if count <= 0 {
+		return nil, at
+	}
+	start := c.occupy(count*8, at)
+	out := make([]uint64, count)
+	for i := range out {
+		out[i] = c.store.ReadWord(addr + uint64(i*8))
+	}
+	if c.st != nil {
+		c.st.DataReadBytes += uint64(count * 8)
+	}
+	return out, start + c.cfg.NVMReadLatency
+}
+
+// account records write traffic in the global statistics.
+func (c *Controller) account(n int, class TrafficClass) {
+	if c.st == nil {
+		return
+	}
+	switch class {
+	case TrafficLog:
+		c.st.LogBytes += uint64(n)
+	default:
+		c.st.DataWriteBytes += uint64(n)
+	}
+}

@@ -1,0 +1,129 @@
+package memdev
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dhtm/internal/config"
+	"dhtm/internal/stats"
+)
+
+// TestStoreWordLineRoundtrip checks the word/line views are consistent.
+func TestStoreWordLineRoundtrip(t *testing.T) {
+	s := NewStore()
+	s.WriteWord(0x1008, 42)
+	s.WriteWord(0x1038, 7)
+	line := s.ReadLine(0x1000)
+	if line[1] != 42 || line[7] != 7 {
+		t.Fatalf("line view %v does not reflect word writes", line)
+	}
+	s.WriteLine(0x2000, Line{1, 2, 3, 4, 5, 6, 7, 8})
+	if got := s.ReadWord(0x2018); got != 4 {
+		t.Fatalf("word view = %d, want 4", got)
+	}
+	if s.ReadWord(0x9999999000) != 0 {
+		t.Fatalf("unwritten memory is not zero")
+	}
+}
+
+// TestStoreSaveLoad checks image serialisation round-trips.
+func TestStoreSaveLoad(t *testing.T) {
+	s := NewStore()
+	for i := uint64(0); i < 100; i++ {
+		s.WriteWord(0x4000+i*8, i*i)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	restored := NewStore()
+	if err := restored.Load(&buf); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !s.Equal(restored) {
+		t.Fatalf("restored image differs from the original")
+	}
+}
+
+// TestPropertyStoreReadsWhatWasWritten is the basic memory property over
+// random word writes (last write wins).
+func TestPropertyStoreReadsWhatWasWritten(t *testing.T) {
+	f := func(ops []struct {
+		Addr uint16
+		Val  uint64
+	}) bool {
+		s := NewStore()
+		model := make(map[uint64]uint64)
+		for _, op := range ops {
+			addr := uint64(op.Addr) &^ 7
+			s.WriteWord(addr, op.Val)
+			model[addr] = op.Val
+		}
+		for addr, want := range model {
+			if s.ReadWord(addr) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestControllerLatencyAndBandwidth checks that reads/writes include the
+// device latency and that back-to-back transfers queue on the channel.
+func TestControllerLatencyAndBandwidth(t *testing.T) {
+	cfg := config.Default()
+	st := stats.New(1)
+	ctl := NewController(cfg, NewStore(), st)
+
+	_, readyAt := ctl.ReadLine(0x1000, 100)
+	if readyAt < 100+cfg.NVMReadLatency {
+		t.Fatalf("read ready at %d, want at least %d", readyAt, 100+cfg.NVMReadLatency)
+	}
+	first := ctl.WriteLine(0x2000, Line{}, 1000, TrafficData)
+	second := ctl.WriteLine(0x2040, Line{}, 1000, TrafficData)
+	if second <= first {
+		t.Fatalf("second write (%d) did not queue behind the first (%d)", second, first)
+	}
+	if second-first < cfg.LineTransferCycles() {
+		t.Fatalf("channel occupancy between writes is %d cycles, want at least %d",
+			second-first, cfg.LineTransferCycles())
+	}
+	if st.DataWriteBytes != 2*LineBytes {
+		t.Fatalf("accounted %d data bytes, want %d", st.DataWriteBytes, 2*LineBytes)
+	}
+}
+
+// TestControllerLogAccounting checks traffic classification.
+func TestControllerLogAccounting(t *testing.T) {
+	cfg := config.Default()
+	st := stats.New(1)
+	ctl := NewController(cfg, NewStore(), st)
+	ctl.WriteWords(0x100, []uint64{1, 2, 3}, 0, TrafficLog)
+	if st.LogBytes != 24 {
+		t.Fatalf("log bytes = %d, want 24", st.LogBytes)
+	}
+	if got := ctl.Store().ReadWord(0x108); got != 2 {
+		t.Fatalf("functional log write missing: %d", got)
+	}
+	done := ctl.ReserveWrite(64, 0, TrafficData)
+	if done < cfg.NVMWriteLatency {
+		t.Fatalf("ReserveWrite returned %d, want at least the write latency", done)
+	}
+}
+
+// TestBandwidthScaling checks Table VII's knob: scaling bandwidth shrinks the
+// per-line channel occupancy.
+func TestBandwidthScaling(t *testing.T) {
+	base := config.Default()
+	scaled := config.Default()
+	scaled.BandwidthScale = 10
+	if scaled.LineTransferCycles() >= base.LineTransferCycles() {
+		t.Fatalf("10x bandwidth does not reduce transfer cycles (%d vs %d)",
+			scaled.LineTransferCycles(), base.LineTransferCycles())
+	}
+}

@@ -1,0 +1,182 @@
+// Package memdev models the byte-addressable persistent memory device: a
+// sparse, line-granular backing store holding the durable contents of memory,
+// and a memory controller that charges read/write latency and channel
+// bandwidth occupancy for every access that reaches the device.
+//
+// The Store is the only state that survives a simulated crash; caches and any
+// in-flight buffers are volatile and are discarded by the hierarchy.
+package memdev
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WordsPerLine is the number of 8-byte words in a 64-byte cache line. The
+// simulator uses 64-byte lines throughout, matching the paper's configuration.
+const WordsPerLine = 8
+
+// LineBytes is the size of a cache line in bytes.
+const LineBytes = WordsPerLine * 8
+
+// Line is the data payload of one cache line.
+type Line [WordsPerLine]uint64
+
+// Store is the durable backing store: a sparse map from line-aligned
+// addresses to line contents. Reads of never-written memory return zeroes,
+// like freshly allocated persistent memory.
+type Store struct {
+	lines map[uint64]*Line
+}
+
+// NewStore returns an empty persistent-memory image.
+func NewStore() *Store {
+	return &Store{lines: make(map[uint64]*Line)}
+}
+
+// lineAddr masks addr down to its containing line address.
+func lineAddr(addr uint64) uint64 { return addr &^ uint64(LineBytes-1) }
+
+// wordIndex returns the word offset of addr within its line.
+func wordIndex(addr uint64) int { return int(addr%LineBytes) / 8 }
+
+// ReadWord returns the 8-byte word at addr (addr must be 8-byte aligned).
+func (s *Store) ReadWord(addr uint64) uint64 {
+	l, ok := s.lines[lineAddr(addr)]
+	if !ok {
+		return 0
+	}
+	return l[wordIndex(addr)]
+}
+
+// WriteWord stores an 8-byte word at addr (addr must be 8-byte aligned).
+func (s *Store) WriteWord(addr uint64, val uint64) {
+	la := lineAddr(addr)
+	l, ok := s.lines[la]
+	if !ok {
+		l = new(Line)
+		s.lines[la] = l
+	}
+	l[wordIndex(addr)] = val
+}
+
+// ReadLine returns a copy of the line containing addr.
+func (s *Store) ReadLine(addr uint64) Line {
+	if l, ok := s.lines[lineAddr(addr)]; ok {
+		return *l
+	}
+	return Line{}
+}
+
+// WriteLine replaces the entire line containing addr.
+func (s *Store) WriteLine(addr uint64, data Line) {
+	la := lineAddr(addr)
+	l, ok := s.lines[la]
+	if !ok {
+		l = new(Line)
+		s.lines[la] = l
+	}
+	*l = data
+}
+
+// LineCount reports how many distinct lines have ever been written.
+func (s *Store) LineCount() int { return len(s.lines) }
+
+// ForEachLine visits every populated line in ascending address order.
+// The callback receives a copy of the line data.
+func (s *Store) ForEachLine(f func(addr uint64, data Line)) {
+	addrs := make([]uint64, 0, len(s.lines))
+	for a := range s.lines {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		f(a, *s.lines[a])
+	}
+}
+
+// Clone returns a deep copy of the store, useful for before/after comparisons
+// in crash-recovery tests.
+func (s *Store) Clone() *Store {
+	c := NewStore()
+	for a, l := range s.lines {
+		cp := *l
+		c.lines[a] = &cp
+	}
+	return c
+}
+
+// snapshot is the gob wire format for a Store image.
+type snapshot struct {
+	Addrs []uint64
+	Data  []Line
+}
+
+// Save serialises the persistent-memory image to w (used by cmd/dhtm-sim to
+// produce crash images that cmd/dhtm-recover replays).
+func (s *Store) Save(w io.Writer) error {
+	var snap snapshot
+	s.ForEachLine(func(addr uint64, data Line) {
+		snap.Addrs = append(snap.Addrs, addr)
+		snap.Data = append(snap.Data, data)
+	})
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("memdev: encoding store image: %w", err)
+	}
+	return nil
+}
+
+// Load replaces the store contents with an image previously written by Save.
+func (s *Store) Load(r io.Reader) error {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("memdev: decoding store image: %w", err)
+	}
+	if len(snap.Addrs) != len(snap.Data) {
+		return fmt.Errorf("memdev: corrupt store image: %d addresses, %d lines", len(snap.Addrs), len(snap.Data))
+	}
+	s.lines = make(map[uint64]*Line, len(snap.Addrs))
+	for i, a := range snap.Addrs {
+		l := snap.Data[i]
+		s.lines[a] = &l
+	}
+	return nil
+}
+
+// Equal reports whether two images hold identical contents (zero-filled lines
+// are treated as absent).
+func (s *Store) Equal(o *Store) bool {
+	var za Line
+	check := func(a, b *Store) bool {
+		for addr, l := range a.lines {
+			ol, ok := b.lines[addr]
+			if !ok {
+				if *l != za {
+					return false
+				}
+				continue
+			}
+			if *l != *ol {
+				return false
+			}
+		}
+		return true
+	}
+	return check(s, o) && check(o, s)
+}
+
+// Dump writes a human-readable hex listing of the populated lines, primarily
+// for debugging and the dhtm-recover inspection mode.
+func (s *Store) Dump(w io.Writer) {
+	s.ForEachLine(func(addr uint64, data Line) {
+		var b bytes.Buffer
+		fmt.Fprintf(&b, "%#016x:", addr)
+		for _, wd := range data {
+			fmt.Fprintf(&b, " %016x", wd)
+		}
+		fmt.Fprintln(w, b.String())
+	})
+}

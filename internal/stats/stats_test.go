@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAggregation checks the cross-core aggregations used by the harness.
+func TestAggregation(t *testing.T) {
+	s := New(2)
+	s.Core(0).Commits = 10
+	s.Core(0).Aborts = 2
+	s.Core(0).AbortsByReason[AbortConflict] = 2
+	s.Core(0).FinalCycle = 1000
+	s.Core(0).WriteSetLines = 50
+	s.Core(1).Commits = 30
+	s.Core(1).FinalCycle = 2000
+	s.Core(1).WriteSetLines = 150
+
+	if s.TotalCommits() != 40 || s.TotalAborts() != 2 {
+		t.Fatalf("totals wrong: %d commits, %d aborts", s.TotalCommits(), s.TotalAborts())
+	}
+	if s.TotalCycles() != 2000 {
+		t.Fatalf("makespan = %d, want the max core clock 2000", s.TotalCycles())
+	}
+	if got := s.AbortRate(); got <= 0.047 || got >= 0.048 {
+		t.Fatalf("abort rate = %f, want 2/42", got)
+	}
+	if got := s.MeanWriteSetLines(); got != 5 {
+		t.Fatalf("mean write-set lines = %f, want 5", got)
+	}
+	if s.Throughput() != 40.0/2000.0*1e6 {
+		t.Fatalf("throughput wrong: %f", s.Throughput())
+	}
+	if s.AbortsFor(AbortConflict) != 2 || s.AbortsFor(AbortLogOverflow) != 0 {
+		t.Fatalf("per-reason aborts wrong")
+	}
+}
+
+// TestSummaryMentionsKeyCounters keeps the human-readable report useful.
+func TestSummaryMentionsKeyCounters(t *testing.T) {
+	s := New(1)
+	s.Core(0).Commits = 5
+	s.Core(0).Aborts = 1
+	s.Core(0).AbortsByReason[AbortLLCCapacity] = 1
+	s.LogBytes = 640
+	out := s.Summary()
+	for _, want := range []string{"commits=5", "llc-capacity=1", "log 640 B"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestEmptyStatsAreSafe checks the zero cases used before any work ran.
+func TestEmptyStatsAreSafe(t *testing.T) {
+	s := New(1)
+	if s.AbortRate() != 0 || s.Throughput() != 0 || s.MeanWriteSetLines() != 0 || s.L1HitRate() != 0 {
+		t.Fatalf("empty stats produced non-zero rates")
+	}
+}

@@ -1,0 +1,85 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"dhtm/internal/config"
+	"dhtm/internal/memdev"
+	"dhtm/internal/stats"
+)
+
+// newTestStore returns a fresh persistent-memory image for DirectTx tests.
+func newTestStore() *memdev.Store { return memdev.NewStore() }
+
+// TestAttemptNormalCompletion checks bodies that finish (with and without an
+// application error).
+func TestAttemptNormalCompletion(t *testing.T) {
+	d := DirectTx{Store: newTestStore()}
+	err, ok, _ := Attempt(func(tx Tx) error {
+		tx.Write(0x100, 7)
+		if tx.Read(0x100) != 7 {
+			t.Errorf("DirectTx did not read back its write")
+		}
+		return nil
+	}, d)
+	if err != nil || !ok {
+		t.Fatalf("Attempt of a clean body: err=%v ok=%v", err, ok)
+	}
+	wantErr := errors.New("application abort")
+	err, ok, _ = Attempt(func(Tx) error { return wantErr }, d)
+	if !ok || !errors.Is(err, wantErr) {
+		t.Fatalf("application error not propagated: err=%v ok=%v", err, ok)
+	}
+}
+
+// TestAttemptCatchesHardwareAborts checks AbortNow unwinds into a reason.
+func TestAttemptCatchesHardwareAborts(t *testing.T) {
+	d := DirectTx{Store: newTestStore()}
+	err, ok, reason := Attempt(func(Tx) error {
+		AbortNow(stats.AbortLLCCapacity)
+		return nil
+	}, d)
+	if ok || err != nil || reason != stats.AbortLLCCapacity {
+		t.Fatalf("hardware abort not captured: ok=%v err=%v reason=%v", ok, err, reason)
+	}
+}
+
+// TestAttemptDoesNotSwallowRealPanics keeps genuine bugs visible.
+func TestAttemptDoesNotSwallowRealPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("a non-abort panic was swallowed")
+		}
+	}()
+	_, _, _ = Attempt(func(Tx) error { panic("simulator bug") }, DirectTx{Store: newTestStore()})
+}
+
+// TestBackoffGrowsAndCaps checks the retry backoff schedule.
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	cfg := config.Default()
+	if Backoff(cfg, 1) <= Backoff(cfg, 0) {
+		t.Fatalf("backoff does not grow")
+	}
+	if Backoff(cfg, 50) != Backoff(cfg, 6) {
+		t.Fatalf("backoff not capped")
+	}
+}
+
+// TestNewEnvValidates checks environment construction validates the config.
+func TestNewEnvValidates(t *testing.T) {
+	bad := config.Default()
+	bad.NumCores = 0
+	if _, err := NewEnv(bad); err == nil {
+		t.Fatalf("invalid configuration accepted")
+	}
+	good := config.Default()
+	good.NumCores = 2
+	env, err := NewEnv(good)
+	if err != nil {
+		t.Fatalf("NewEnv: %v", err)
+	}
+	if env.Registry.Threads() != 2 || env.Stats == nil || env.Hier == nil {
+		t.Fatalf("environment incompletely wired")
+	}
+}

@@ -1,0 +1,233 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+
+	"dhtm/internal/memdev"
+)
+
+// ErrLogFull is returned when a record does not fit in the live region of a
+// thread log. Designs translate it into a log-overflow abort; the OS then
+// grows the log and the transaction retries (§III-A of the paper).
+var ErrLogFull = errors.New("wal: thread log full")
+
+// ThreadLog is one thread's durable transaction log: a circular buffer of
+// 8-byte words in persistent memory, with its head and tail offsets persisted
+// in a small metadata block so the recovery manager can locate the live
+// records after a crash.
+//
+// The hardware keeps the equivalent of the head pointer in a register
+// (Table II); persisting it alongside each append stands in for the record
+// validity detection (checksums / epoch bits) a real implementation would use
+// and costs one extra word of metadata per append, which is charged to the
+// bandwidth model.
+type ThreadLog struct {
+	Thread    int
+	Base      uint64 // first data word address
+	SizeWords int
+	// MaxWords is the size of the reserved region; Grow may raise SizeWords
+	// up to this limit when the OS responds to a log-overflow abort.
+	MaxWords int
+	MetaAddr uint64 // two persisted words: head offset, tail offset
+
+	ctl *memdev.Controller
+
+	head, tail int // word offsets into the data area (in-memory mirrors)
+
+	nextTx uint64
+	// live tracks the start offset of every transaction whose records may
+	// still be needed (active, committing, or committed-but-incomplete), in
+	// begin order, so the tail can advance when the oldest one finishes.
+	live []liveTx
+}
+
+type liveTx struct {
+	txid  uint64
+	start int
+}
+
+// newThreadLog wires a log onto an already-reserved persistent region of
+// maxWords capacity, of which sizeWords are initially usable.
+func newThreadLog(ctl *memdev.Controller, thread int, base uint64, sizeWords, maxWords int, metaAddr uint64) *ThreadLog {
+	l := &ThreadLog{
+		Thread:    thread,
+		Base:      base,
+		SizeWords: sizeWords,
+		MaxWords:  maxWords,
+		MetaAddr:  metaAddr,
+		ctl:       ctl,
+		nextTx:    1,
+	}
+	l.persistMeta()
+	return l
+}
+
+// attachThreadLog reconstructs a ThreadLog handle from persisted metadata
+// (used by the recovery manager, which has no in-memory state).
+func attachThreadLog(store *memdev.Store, thread int, base uint64, sizeWords int, metaAddr uint64) *ThreadLog {
+	return &ThreadLog{
+		Thread:    thread,
+		Base:      base,
+		SizeWords: sizeWords,
+		MaxWords:  sizeWords,
+		MetaAddr:  metaAddr,
+		head:      int(store.ReadWord(metaAddr)),
+		tail:      int(store.ReadWord(metaAddr + 8)),
+		nextTx:    1,
+	}
+}
+
+// persistMeta writes the head/tail offsets to persistent memory (functional
+// only; the append that triggered it already paid for the bandwidth).
+func (l *ThreadLog) persistMeta() {
+	if l.ctl == nil {
+		return
+	}
+	st := l.ctl.Store()
+	st.WriteWord(l.MetaAddr, uint64(l.head))
+	st.WriteWord(l.MetaAddr+8, uint64(l.tail))
+}
+
+// BeginTx allocates a new transaction ID and remembers where its records
+// start so the log can be truncated once the transaction finishes.
+func (l *ThreadLog) BeginTx() uint64 {
+	id := l.nextTx
+	l.nextTx++
+	l.live = append(l.live, liveTx{txid: id, start: l.head})
+	return id
+}
+
+// EndTx marks a transaction's records as no longer needed (it reached
+// commit-complete or abort-complete) and advances the persisted tail past any
+// prefix of finished transactions.
+func (l *ThreadLog) EndTx(txid uint64) {
+	for i := range l.live {
+		if l.live[i].txid == txid {
+			l.live[i].txid = 0 // finished marker
+			break
+		}
+	}
+	for len(l.live) > 0 && l.live[0].txid == 0 {
+		l.live = l.live[1:]
+	}
+	if len(l.live) == 0 {
+		l.tail = l.head
+	} else {
+		l.tail = l.live[0].start
+	}
+	l.persistMeta()
+}
+
+// used returns the number of live words in the circular buffer.
+func (l *ThreadLog) used() int {
+	if l.head >= l.tail {
+		return l.head - l.tail
+	}
+	return l.SizeWords - l.tail + l.head
+}
+
+// Free returns the number of words that can still be appended.
+func (l *ThreadLog) Free() int { return l.SizeWords - 1 - l.used() }
+
+// Append serialises rec, writes it to persistent memory at the log head and
+// returns the cycle at which the record is durable. The write is charged to
+// the memory-channel bandwidth model (plus one metadata word).
+func (l *ThreadLog) Append(rec *Record, at uint64) (uint64, error) {
+	rec.Thread = l.Thread
+	words := rec.Encode()
+	if len(words) > l.Free() {
+		return at, ErrLogFull
+	}
+	done := at
+	// The record may wrap around the end of the circular buffer; issue up to
+	// two contiguous writes.
+	remaining := words
+	off := l.head
+	for len(remaining) > 0 {
+		chunk := remaining
+		if off+len(chunk) > l.SizeWords {
+			chunk = remaining[:l.SizeWords-off]
+		}
+		d := l.ctl.WriteWords(l.Base+uint64(off*8), chunk, at, memdev.TrafficLog)
+		if d > done {
+			done = d
+		}
+		off = (off + len(chunk)) % l.SizeWords
+		remaining = remaining[len(chunk):]
+	}
+	l.head = off
+	// One extra metadata word accounts for persisting the head pointer.
+	d := l.ctl.WriteWords(l.MetaAddr, []uint64{uint64(l.head)}, at, memdev.TrafficLog)
+	if d > done {
+		done = d
+	}
+	l.ctl.Store().WriteWord(l.MetaAddr+8, uint64(l.tail))
+	return done, nil
+}
+
+// readWord reads the i-th live word (relative to the data base, absolute
+// offset) from a store image.
+func (l *ThreadLog) readWord(store *memdev.Store, off int) uint64 {
+	return store.ReadWord(l.Base + uint64(off*8))
+}
+
+// Scan decodes every live record (tail to head) from the given persistent
+// memory image. It is used by the recovery manager and by tests.
+func (l *ThreadLog) Scan(store *memdev.Store) ([]Record, error) {
+	head := int(store.ReadWord(l.MetaAddr))
+	tail := int(store.ReadWord(l.MetaAddr + 8))
+	if head < 0 || head >= l.SizeWords || tail < 0 || tail >= l.SizeWords {
+		return nil, fmt.Errorf("wal: thread %d log has corrupt head/tail %d/%d", l.Thread, head, tail)
+	}
+	liveWords := head - tail
+	if liveWords < 0 {
+		liveWords += l.SizeWords
+	}
+	// Copy the live region into a flat slice so records that wrap decode
+	// contiguously.
+	flat := make([]uint64, liveWords)
+	for i := 0; i < liveWords; i++ {
+		flat[i] = l.readWord(store, (tail+i)%l.SizeWords)
+	}
+	var recs []Record
+	for idx := 0; idx < len(flat); {
+		rec, n, err := decode(flat, idx)
+		if err != nil {
+			return recs, err
+		}
+		if rec.Type == RecInvalid {
+			// Zeroed space; nothing further is live.
+			break
+		}
+		recs = append(recs, rec)
+		idx += n
+	}
+	return recs, nil
+}
+
+// Reset empties the log (used after recovery has replayed it, and by the
+// OS-grows-the-log path after a log-overflow abort).
+func (l *ThreadLog) Reset() {
+	l.head, l.tail = 0, 0
+	l.live = nil
+	l.persistMeta()
+}
+
+// Grow enlarges the log capacity (the OS response to a log-overflow abort).
+// The paper allocates a fresh, larger log; here the region was reserved with
+// headroom so growth raises the usable size up to that reservation and
+// reports whether any growth was possible. Growing empties the log, which is
+// safe because it only happens after the offending transaction has reached
+// abort-complete and no other transaction of this thread is live.
+func (l *ThreadLog) Grow(factor int) bool {
+	if factor <= 1 || l.SizeWords >= l.MaxWords || len(l.live) > 0 {
+		return false
+	}
+	l.SizeWords *= factor
+	if l.SizeWords > l.MaxWords {
+		l.SizeWords = l.MaxWords
+	}
+	l.Reset()
+	return true
+}

@@ -1,0 +1,146 @@
+// Package wal implements the durable transaction logs that DHTM and the
+// baseline designs write to persistent memory: the per-thread circular log
+// holding redo/undo records and transaction markers, the per-thread overflow
+// list that records write-set lines which escaped the L1, and the registry
+// the OS keeps so the recovery manager can find every log after a crash.
+//
+// Log contents are stored functionally in the memdev.Store (so recovery and
+// the crash tests operate on real bytes) and every append is charged to the
+// memory controller's bandwidth model.
+package wal
+
+import (
+	"errors"
+	"fmt"
+
+	"dhtm/internal/memdev"
+)
+
+// RecordType identifies a log record.
+type RecordType uint8
+
+const (
+	// RecInvalid marks unused log space.
+	RecInvalid RecordType = iota
+	// RecRedo carries the new value of one cache line (DHTM, SO, sdTM).
+	RecRedo
+	// RecUndo carries the old value of one cache line (ATOM, LogTM-ATOM).
+	RecUndo
+	// RecCommit marks the transaction as committed (durable).
+	RecCommit
+	// RecComplete marks all in-place data of a committed transaction durable.
+	RecComplete
+	// RecAbort logically clears the records of an aborted transaction.
+	RecAbort
+	// RecSentinel records that this transaction depends on (read data from)
+	// another committed-but-incomplete transaction and must be replayed after
+	// it. Payload: dependee thread ID and transaction ID.
+	RecSentinel
+)
+
+// String implements fmt.Stringer.
+func (t RecordType) String() string {
+	switch t {
+	case RecInvalid:
+		return "invalid"
+	case RecRedo:
+		return "redo"
+	case RecUndo:
+		return "undo"
+	case RecCommit:
+		return "commit"
+	case RecComplete:
+		return "complete"
+	case RecAbort:
+		return "abort"
+	case RecSentinel:
+		return "sentinel"
+	default:
+		return fmt.Sprintf("RecordType(%d)", uint8(t))
+	}
+}
+
+// Record is the in-memory form of a log record.
+type Record struct {
+	Type   RecordType
+	Thread int
+	TxID   uint64
+
+	// Redo/undo payload.
+	LineAddr uint64
+	Data     memdev.Line
+
+	// Sentinel payload.
+	DepThread int
+	DepTxID   uint64
+}
+
+// Header packing: [ 8 bits type | 8 bits thread | 48 bits txid ].
+const (
+	typeShift   = 56
+	threadShift = 48
+	txidMask    = (uint64(1) << 48) - 1
+)
+
+func packHeader(t RecordType, thread int, txid uint64) uint64 {
+	return uint64(t)<<typeShift | uint64(uint8(thread))<<threadShift | (txid & txidMask)
+}
+
+func unpackHeader(h uint64) (RecordType, int, uint64) {
+	return RecordType(h >> typeShift), int((h >> threadShift) & 0xff), h & txidMask
+}
+
+// payloadWords returns the number of payload words following the header for
+// each record type.
+func payloadWords(t RecordType) int {
+	switch t {
+	case RecRedo, RecUndo:
+		return 1 + memdev.WordsPerLine // line address + data
+	case RecSentinel:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Encode serialises the record into words (header first).
+func (r *Record) Encode() []uint64 {
+	words := make([]uint64, 0, 1+payloadWords(r.Type))
+	words = append(words, packHeader(r.Type, r.Thread, r.TxID))
+	switch r.Type {
+	case RecRedo, RecUndo:
+		words = append(words, r.LineAddr)
+		words = append(words, r.Data[:]...)
+	case RecSentinel:
+		words = append(words, uint64(r.DepThread), r.DepTxID)
+	}
+	return words
+}
+
+// SizeWords returns the encoded size of the record in 8-byte words.
+func (r *Record) SizeWords() int { return 1 + payloadWords(r.Type) }
+
+// decode reads one record starting at the given word index within a raw word
+// slice, returning the record and the number of words consumed. A zero header
+// decodes as RecInvalid with one word consumed.
+func decode(words []uint64, idx int) (Record, int, error) {
+	if idx >= len(words) {
+		return Record{}, 0, errors.New("wal: decode past end of buffer")
+	}
+	t, thread, txid := unpackHeader(words[idx])
+	r := Record{Type: t, Thread: thread, TxID: txid}
+	need := payloadWords(t)
+	if idx+1+need > len(words) {
+		return Record{}, 0, fmt.Errorf("wal: truncated %s record at word %d", t, idx)
+	}
+	p := words[idx+1 : idx+1+need]
+	switch t {
+	case RecRedo, RecUndo:
+		r.LineAddr = p[0]
+		copy(r.Data[:], p[1:])
+	case RecSentinel:
+		r.DepThread = int(p[0])
+		r.DepTxID = p[1]
+	}
+	return r, 1 + need, nil
+}

@@ -1,0 +1,76 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dhtm/internal/engine"
+	"dhtm/internal/palloc"
+	"dhtm/internal/stats"
+	"dhtm/internal/txn"
+)
+
+// RunResult is the outcome of driving one (design, workload) pair.
+type RunResult struct {
+	Design   string
+	Workload string
+	Stats    *stats.Stats
+	// Committed is the number of transactions that reached their commit
+	// point; with the default driver it equals Cores*TxPerCore.
+	Committed uint64
+	// Cycles is the makespan of the run.
+	Cycles uint64
+}
+
+// Throughput returns committed transactions per million cycles.
+func (r RunResult) Throughput() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Committed) / float64(r.Cycles) * 1e6
+}
+
+// Run sets the workload up on the environment's persistent heap and drives
+// txPerCore transactions per core through the runtime under the deterministic
+// multi-core engine, then drains per-core completion work. The returned
+// result references the environment's Stats.
+//
+// When finish is false the run stops at the last transaction's commit point
+// without draining completion work or write-backs — the state crash-recovery
+// tests want to exercise.
+func Run(env *txn.Env, rt txn.Runtime, w Workload, p Params, txPerCore int, finish bool) (RunResult, error) {
+	p = p.Defaults()
+	if p.Cores != env.Cfg.NumCores {
+		p.Cores = env.Cfg.NumCores
+	}
+	heap := palloc.New(env.Store())
+	if err := w.Setup(heap, p); err != nil {
+		return RunResult{}, fmt.Errorf("workloads: setting up %s: %w", w.Name(), err)
+	}
+
+	eng := engine.New(env.Cfg.NumCores)
+	eng.Run(func(core int, c *engine.Clock) {
+		rng := rand.New(rand.NewSource(p.Seed + int64(core)*7919))
+		for i := 0; i < txPerCore; i++ {
+			t := w.Next(core, rng)
+			rt.Run(core, c, t)
+			// Non-transactional work between transactions (building the next
+			// request); background completion phases overlap with it.
+			c.Advance(p.ThinkCycles)
+		}
+		if finish {
+			rt.Finish(core, c)
+		} else {
+			env.Stats.Core(core).FinalCycle = c.Now()
+		}
+	})
+
+	res := RunResult{
+		Design:    rt.Name(),
+		Workload:  w.Name(),
+		Stats:     env.Stats,
+		Committed: env.Stats.TotalCommits(),
+		Cycles:    env.Stats.TotalCycles(),
+	}
+	return res, nil
+}
