@@ -12,10 +12,10 @@ import (
 	"strconv"
 	"testing"
 
-	"dhtm/internal/config"
 	"dhtm/internal/harness"
 	"dhtm/internal/memdev"
 	"dhtm/internal/palloc"
+	"dhtm/internal/runner"
 	"dhtm/internal/workloads"
 )
 
@@ -94,11 +94,10 @@ func BenchmarkAblations(b *testing.B) { runExperiment(b, "ablation") }
 // transactions per second of host time) for DHTM on the hash workload — a
 // sanity check that the architectural model stays fast enough to sweep.
 func BenchmarkDHTMSimulation(b *testing.B) {
-	cfg := config.Default()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		res, err := harness.Execute(harness.RunSpec{
-			Design: harness.DesignDHTM, Workload: "hash", Cfg: cfg, TxPerCore: 8,
+		res, err := harness.Execute(runner.Cell{
+			Design: harness.DesignDHTM, Workload: "hash", TxPerCore: 8,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -115,8 +114,8 @@ func BenchmarkAllDesignsOnHash(b *testing.B) {
 		d := d
 		b.Run(d, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := harness.Execute(harness.RunSpec{
-					Design: d, Workload: "hash", Cfg: config.Default(), TxPerCore: 6,
+				if _, err := harness.Execute(runner.Cell{
+					Design: d, Workload: "hash", TxPerCore: 6,
 				}); err != nil {
 					b.Fatal(err)
 				}

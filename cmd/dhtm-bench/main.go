@@ -1,5 +1,7 @@
 // Command dhtm-bench regenerates the tables and figures of the DHTM paper's
-// evaluation section (§VI) on the simulated machine.
+// evaluation section (§VI) on the simulated machine. Each experiment is a
+// grid of independent simulation cells that a worker pool fans out across
+// the host's cores; results are byte-identical at any parallelism.
 //
 // Usage:
 //
@@ -8,24 +10,59 @@
 //	                           #   table6, table7, durability, ablation)
 //	dhtm-bench -quick          # smaller transaction counts, finishes in seconds
 //	dhtm-bench -tx 32 -cores 8 # override the per-core transaction count / cores
+//	dhtm-bench -parallel 4     # size of the cell worker pool (0 = GOMAXPROCS)
+//	dhtm-bench -seed 7         # base seed for deterministic per-cell seeding
+//	dhtm-bench -json           # machine-readable result document on stdout
+//	dhtm-bench -csv            # CSV rows on stdout
+//	dhtm-bench -progress       # per-cell progress on stderr
 //	dhtm-bench -list           # list experiments
+//
+// A failing experiment no longer aborts the run: every selected experiment
+// executes, successful tables render, failures are reported together at the
+// end, and the exit status is non-zero if anything failed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"dhtm/internal/harness"
+	"dhtm/internal/runner"
 )
+
+// experimentResult is one experiment's entry in the -json document.
+type experimentResult struct {
+	ID        string         `json:"id"`
+	Title     string         `json:"title"`
+	Table     *harness.Table `json:"table,omitempty"`
+	Cells     []runner.Cell  `json:"cells,omitempty"`
+	ElapsedMs float64        `json:"elapsed_ms"`
+	Error     string         `json:"error,omitempty"`
+}
+
+// document is the top-level -json result document.
+type document struct {
+	Seed        int64              `json:"seed"`
+	Parallel    int                `json:"parallel"`
+	Quick       bool               `json:"quick"`
+	Experiments []experimentResult `json:"experiments"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (comma separated), or 'all'")
 	quick := flag.Bool("quick", false, "use reduced transaction counts")
 	tx := flag.Int("tx", 0, "transactions per core (0 = per-experiment default)")
 	cores := flag.Int("cores", 0, "number of simulated cores (0 = 8, as in the paper)")
+	parallel := flag.Int("parallel", 0, "simulation cells to run concurrently (0 = GOMAXPROCS)")
+	seed := flag.Int64("seed", 0, "base seed for per-cell deterministic seeding (0 = default 42)")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON result document on stdout")
+	csvOut := flag.Bool("csv", false, "emit CSV rows on stdout instead of aligned tables")
+	progress := flag.Bool("progress", false, "report per-cell completion on stderr")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.Parse()
 
@@ -35,8 +72,26 @@ func main() {
 		}
 		return
 	}
+	if *jsonOut && *csvOut {
+		fmt.Fprintln(os.Stderr, "dhtm-bench: -json and -csv are mutually exclusive")
+		os.Exit(2)
+	}
 
-	opts := harness.Options{Quick: *quick, TxPerCore: *tx, Cores: *cores, Out: os.Stdout}
+	opts := harness.Options{
+		Quick: *quick, TxPerCore: *tx, Cores: *cores, Out: os.Stdout,
+		Parallel: *parallel, Seed: *seed,
+	}
+	if *progress {
+		opts.Progress = func(ev runner.ProgressEvent) {
+			status := "ok"
+			if ev.Result.Err != nil {
+				status = "FAILED: " + ev.Result.Err.Error()
+			}
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %-32s %8v  %s\n",
+				ev.Done, ev.Total, ev.Result.Cell.ID,
+				ev.Result.Elapsed.Round(time.Millisecond), status)
+		}
+	}
 
 	var selected []harness.Experiment
 	if *exp == "all" {
@@ -52,14 +107,72 @@ func main() {
 		}
 	}
 
+	doc := document{Seed: *seed, Parallel: *parallel, Quick: *quick}
+	var failures []string
 	for _, e := range selected {
 		start := time.Now()
-		table, err := e.Run(opts)
+		er := experimentResult{ID: e.ID, Title: e.Title}
+		rs, err := e.RunGrid(opts)
+		var table *harness.Table
+		if err == nil {
+			// Cells (with their derived seeds) are reported even when some
+			// of them failed, so any cell can be re-run individually.
+			er.Cells = cellsOf(rs)
+			if err = rs.Err(); err == nil {
+				table, err = e.Reduce(opts, rs)
+			}
+		}
+		er.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
 		if err != nil {
+			er.Error = err.Error()
+			failures = append(failures, fmt.Sprintf("%s: %v", e.ID, err))
 			fmt.Fprintf(os.Stderr, "dhtm-bench: %s failed: %v\n", e.ID, err)
+		} else {
+			er.Table = table
+			switch {
+			case *jsonOut:
+				// accumulated into doc below
+			case *csvOut:
+				if err := table.WriteCSV(os.Stdout); err != nil {
+					fmt.Fprintf(os.Stderr, "dhtm-bench: writing CSV: %v\n", err)
+					os.Exit(1)
+				}
+			default:
+				table.Render(os.Stdout)
+				fmt.Printf("  (%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+			}
+		}
+		doc.Experiments = append(doc.Experiments, er)
+	}
+
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "dhtm-bench: encoding JSON: %v\n", err)
 			os.Exit(1)
 		}
-		table.Render(os.Stdout)
-		fmt.Printf("  (%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "dhtm-bench: %d of %d experiments failed:\n", len(failures), len(selected))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
+}
+
+// cellsOf extracts the executed cells (with derived seeds) for the JSON
+// document, so any cell can be re-run individually with dhtm-sim.
+func cellsOf(rs *runner.ResultSet) []runner.Cell {
+	cells := make([]runner.Cell, len(rs.Results))
+	for i, r := range rs.Results {
+		cells[i] = r.Cell
+	}
+	return cells
+}
+
+// writeJSON encodes the document with stable indentation.
+func writeJSON(w io.Writer, doc document) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }

@@ -1,62 +1,159 @@
-// Command dhtm-sim runs a single (design, workload) pair on the simulated
-// machine and prints detailed statistics. With -crash it stops the run at the
-// last transaction's commit point, simulates a power failure and writes the
-// persistent-memory image to a file that cmd/dhtm-recover can replay.
+// Command dhtm-sim runs (design, workload) pairs on the simulated machine
+// and prints detailed statistics. With a single pair it supports crash
+// injection: -crash stops the run at the last transaction's commit point,
+// simulates a power failure and writes the persistent-memory image to a file
+// that cmd/dhtm-recover can replay. With comma-separated designs or
+// workloads it becomes a sweep driver: the grid of cells fans out across
+// -parallel workers and a compact result line (or -json document) is emitted
+// per cell.
 //
 // Examples:
 //
 //	dhtm-sim -design DHTM -workload hash -tx 24
 //	dhtm-sim -design DHTM -workload queue -crash -image crash.img
 //	dhtm-sim -design ATOM -workload tpcc -cores 4 -tx 4
+//	dhtm-sim -design SO,ATOM,DHTM -workload hash,queue -parallel 4 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dhtm/internal/config"
 	"dhtm/internal/harness"
 	"dhtm/internal/recovery"
+	"dhtm/internal/runner"
 	"dhtm/internal/txn"
 	"dhtm/internal/workloads"
 )
 
+// cellReport is one cell's entry in the -json output.
+type cellReport struct {
+	Cell       runner.Cell `json:"cell"`
+	Committed  uint64      `json:"committed"`
+	Cycles     uint64      `json:"cycles"`
+	Throughput float64     `json:"throughput_tx_per_mcycle"`
+	AbortRate  float64     `json:"abort_rate"`
+	LogBytes   uint64      `json:"log_bytes"`
+	DataWrites uint64      `json:"data_write_bytes"`
+	Error      string      `json:"error,omitempty"`
+}
+
 func main() {
-	design := flag.String("design", harness.DesignDHTM, "design to run (SO, sdTM, ATOM, LogTM-ATOM, NP, DHTM, DHTM-instant, DHTM-L1, DHTM-nobuf)")
-	workload := flag.String("workload", "hash", "workload to run (queue, hash, sdg, sps, btree, rbtree, tatp, tpcc)")
+	design := flag.String("design", harness.DesignDHTM, "design(s) to run, comma separated (SO, sdTM, ATOM, LogTM-ATOM, NP, DHTM, DHTM-instant, DHTM-L1, DHTM-nobuf)")
+	workload := flag.String("workload", "hash", "workload(s) to run, comma separated (queue, hash, sdg, sps, btree, rbtree, tatp, tpcc)")
 	tx := flag.Int("tx", 16, "transactions per core")
 	cores := flag.Int("cores", 0, "number of cores (0 = 8)")
 	logBuf := flag.Int("logbuf", 0, "DHTM log-buffer entries (0 = configured default of 64)")
 	bw := flag.Float64("bw", 1.0, "memory bandwidth scale factor")
+	seed := flag.Int64("seed", 0, "workload generation seed (0 = derive deterministically per cell)")
+	parallel := flag.Int("parallel", 0, "cells to simulate concurrently in sweep mode (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON results on stdout")
 	crash := flag.Bool("crash", false, "crash at the last commit point instead of finishing cleanly")
 	image := flag.String("image", "", "write the persistent-memory image to this file (with -crash)")
-	recover := flag.Bool("recover", false, "run the recovery manager in-process after a crash and verify the workload")
+	recoverFlag := flag.Bool("recover", false, "run the recovery manager in-process after a crash and verify the workload")
 	flag.Parse()
 
+	designs := splitList(*design)
+	wls := splitList(*workload)
+	if len(designs) == 0 {
+		fail("-design names no designs")
+	}
+	if len(wls) == 0 {
+		fail("-workload names no workloads")
+	}
+	if *bw <= 0 {
+		fail("bandwidth scale must be positive, got %g", *bw)
+	}
+	ov := runner.Overrides{LogBufferEntries: *logBuf}
+	if *bw != 1.0 {
+		ov.BandwidthScale = *bw
+	}
+
+	if len(designs) == 1 && len(wls) == 1 && !*jsonOut {
+		runSingle(designs[0], wls[0], *tx, *cores, *seed, ov, *crash, *image, *recoverFlag)
+		return
+	}
+	if *crash || *image != "" || *recoverFlag {
+		fail("crash injection requires a single design and workload (and no -json)")
+	}
+
+	plan := runner.Plan{Name: "dhtm-sim"}
+	for _, d := range designs {
+		for _, w := range wls {
+			plan.Add(runner.Cell{
+				ID: d + "/" + w, Design: d, Workload: w,
+				Cores: *cores, TxPerCore: *tx, Seed: *seed, Overrides: ov,
+			})
+		}
+	}
+	rs, err := runner.Run(plan, harness.Execute, runner.Options{Parallel: *parallel, Seed: *seed})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	if *jsonOut {
+		reports := make([]cellReport, len(rs.Results))
+		for i, r := range rs.Results {
+			reports[i] = cellReport{Cell: r.Cell}
+			if r.Err != nil {
+				reports[i].Error = r.Err.Error()
+				continue
+			}
+			reports[i].Committed = r.Run.Committed
+			reports[i].Cycles = r.Run.Cycles
+			reports[i].Throughput = r.Run.Throughput()
+			reports[i].AbortRate = r.Run.Stats.AbortRate()
+			reports[i].LogBytes = r.Run.Stats.LogBytes
+			reports[i].DataWrites = r.Run.Stats.DataWriteBytes
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fail("encoding JSON: %v", err)
+		}
+	} else {
+		for _, r := range rs.Results {
+			if r.Err != nil {
+				fmt.Printf("%-24s ERROR: %v\n", r.Cell.ID, r.Err)
+				continue
+			}
+			fmt.Printf("%-24s %6d tx in %12d cycles (%.3f tx/Mcycle, abort rate %.1f%%)\n",
+				r.Cell.ID, r.Run.Committed, r.Run.Cycles, r.Run.Throughput(),
+				r.Run.Stats.AbortRate()*100)
+		}
+	}
+	if rs.Err() != nil {
+		os.Exit(1)
+	}
+}
+
+// runSingle preserves the original detailed single-run path, including crash
+// injection, image capture, recovery and workload verification.
+func runSingle(design, workload string, tx, cores int, seed int64, ov runner.Overrides, crash bool, image string, recoverAfter bool) {
 	cfg := config.Default()
-	if *cores > 0 {
-		cfg.NumCores = *cores
+	if cores > 0 {
+		cfg.NumCores = cores
 	}
-	if *logBuf > 0 {
-		cfg.LogBufferEntries = *logBuf
-	}
-	cfg.BandwidthScale = *bw
+	cfg = ov.Apply(cfg)
 
 	env, err := txn.NewEnv(cfg)
 	if err != nil {
 		fail("building environment: %v", err)
 	}
-	rt, err := harness.NewRuntime(env, *design)
+	rt, err := harness.NewRuntime(env, design)
 	if err != nil {
 		fail("%v", err)
 	}
-	w, err := workloads.New(*workload)
+	w, err := workloads.New(workload)
 	if err != nil {
 		fail("%v", err)
 	}
 
-	res, err := workloads.Run(env, rt, w, workloads.Params{Cores: cfg.NumCores}, *tx, !*crash)
+	res, err := workloads.Run(env, rt, w, workloads.Params{Cores: cfg.NumCores, Seed: seed}, tx, !crash)
 	if err != nil {
 		fail("running workload: %v", err)
 	}
@@ -64,11 +161,11 @@ func main() {
 		rt.Name(), w.Name(), res.Committed, res.Cycles, res.Throughput())
 	fmt.Print(env.Stats.Summary())
 
-	if *crash {
+	if crash {
 		env.Hier.Crash()
 		fmt.Println("crash injected: volatile state discarded, durable logs retained")
-		if *image != "" {
-			f, err := os.Create(*image)
+		if image != "" {
+			f, err := os.Create(image)
 			if err != nil {
 				fail("creating image file: %v", err)
 			}
@@ -78,9 +175,9 @@ func main() {
 			if err := f.Close(); err != nil {
 				fail("closing image: %v", err)
 			}
-			fmt.Printf("persistent-memory image written to %s (replay it with dhtm-recover)\n", *image)
+			fmt.Printf("persistent-memory image written to %s (replay it with dhtm-recover)\n", image)
 		}
-		if *recover {
+		if recoverAfter {
 			report, err := recovery.Recover(env.Store())
 			if err != nil {
 				fail("recovery: %v", err)
@@ -99,6 +196,17 @@ func main() {
 		fail("workload verification FAILED: %v", err)
 	}
 	fmt.Println("workload invariants verified")
+}
+
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func fail(format string, args ...interface{}) {

@@ -1,0 +1,3 @@
+module dhtm
+
+go 1.24

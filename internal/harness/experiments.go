@@ -5,14 +5,38 @@ import (
 	"math"
 
 	"dhtm/internal/config"
-	"dhtm/internal/stats"
+	"dhtm/internal/runner"
 	"dhtm/internal/workloads"
 )
 
-// Table4WriteSets reproduces Table IV: the mean write-set size, in cache
-// lines, of every workload (measured on the volatile NP design so logging
-// does not perturb the footprint).
-func Table4WriteSets(o Options) (*Table, error) {
+// Every experiment below is a (plan, reduce) pair. The plan lays out the
+// experiment's grid of independent simulation cells; the reducer renders the
+// paper's table by looking cells up by ID. Reducers therefore never depend
+// on execution order, which is what lets the runner fan the grid out across
+// a worker pool while keeping the rendered table byte-identical to a serial
+// run.
+
+// isOLTP reports whether a workload uses the OLTP transaction budget.
+func isOLTP(name string) bool { return name == "tpcc" || name == "tatp" }
+
+// table4Names lists Table IV's workloads in paper order.
+func table4Names() []string {
+	return append([]string{"tpcc", "tatp"}, workloads.MicroNames()...)
+}
+
+// planTable4 lays out Table IV: every workload once, on the volatile NP
+// design so logging does not perturb the footprint.
+func planTable4(o Options) runner.Plan {
+	p := runner.Plan{Name: "table4"}
+	for _, name := range table4Names() {
+		p.Add(o.cell(DesignNP, name, isOLTP(name), runner.Overrides{}))
+	}
+	return p
+}
+
+// reduceTable4 renders the mean write-set size, in cache lines, of every
+// workload.
+func reduceTable4(o Options, rs *runner.ResultSet) (*Table, error) {
 	t := &Table{
 		ID:      "Table IV",
 		Title:   "Workloads and their write-set sizes (# cache lines)",
@@ -26,15 +50,8 @@ func Table4WriteSets(o Options) (*Table, error) {
 		"tpcc": "590", "tatp": "167", "queue": "52", "hash": "58",
 		"sdg": "56", "sps": "63", "btree": "61", "rbtree": "53",
 	}
-	names := append([]string{"tpcc", "tatp"}, workloads.MicroNames()...)
-	for _, name := range names {
-		oltp := name == "tpcc" || name == "tatp"
-		res, err := Execute(RunSpec{
-			Design:    DesignNP,
-			Workload:  name,
-			Cfg:       o.baseConfig(),
-			TxPerCore: o.txCount(oltp),
-		})
+	for _, name := range table4Names() {
+		res, err := rs.Run(DesignNP + "/" + name)
 		if err != nil {
 			return nil, fmt.Errorf("table4: %s: %w", name, err)
 		}
@@ -48,38 +65,48 @@ func Table4WriteSets(o Options) (*Table, error) {
 	return t, nil
 }
 
-// microThroughput runs one design across all micro-benchmarks and returns
-// throughput (tx per million cycles) per workload plus the resulting stats.
-func microThroughput(o Options, design string) (map[string]float64, map[string]*stats.Stats, error) {
-	th := make(map[string]float64)
-	st := make(map[string]*stats.Stats)
-	for _, name := range workloads.MicroNames() {
-		res, err := Execute(RunSpec{
-			Design:    design,
-			Workload:  name,
-			Cfg:       o.baseConfig(),
-			TxPerCore: o.txCount(false),
-		})
-		if err != nil {
-			return nil, nil, fmt.Errorf("%s/%s: %w", design, name, err)
+// addMicroGrid adds one cell per (design, micro-benchmark) pair.
+func addMicroGrid(p *runner.Plan, o Options, designs []string) {
+	for _, d := range designs {
+		for _, w := range workloads.MicroNames() {
+			p.Add(o.cell(d, w, false, runner.Overrides{}))
 		}
-		th[name] = res.Throughput()
-		st[name] = res.Stats
 	}
-	return th, st, nil
 }
 
-// Figure5Throughput reproduces Figure 5: the transaction throughput of sdTM,
-// ATOM, LogTM-ATOM and DHTM on the micro-benchmarks, normalized to SO.
-func Figure5Throughput(o Options) (*Table, error) {
-	designs := []string{DesignSO, DesignSdTM, DesignATOM, DesignLogTMATOM, DesignDHTM}
-	perDesign := make(map[string]map[string]float64)
-	for _, d := range designs {
-		th, _, err := microThroughput(o, d)
+// microThroughput reads the throughput of every micro-benchmark for a design
+// out of a completed grid.
+func microThroughput(rs *runner.ResultSet, design string) (map[string]float64, error) {
+	th := make(map[string]float64)
+	for _, w := range workloads.MicroNames() {
+		res, err := rs.Run(design + "/" + w)
 		if err != nil {
 			return nil, err
 		}
-		perDesign[d] = th
+		th[w] = res.Throughput()
+	}
+	return th, nil
+}
+
+// fig5Designs lists Figure 5's designs in paper order.
+func fig5Designs() []string {
+	return []string{DesignSO, DesignSdTM, DesignATOM, DesignLogTMATOM, DesignDHTM}
+}
+
+// planFigure5 lays out Figure 5: every evaluated design on every
+// micro-benchmark.
+func planFigure5(o Options) runner.Plan {
+	p := runner.Plan{Name: "fig5"}
+	addMicroGrid(&p, o, fig5Designs())
+	return p
+}
+
+// reduceFigure5 renders the transaction throughput of sdTM, ATOM, LogTM-ATOM
+// and DHTM on the micro-benchmarks, normalized to SO.
+func reduceFigure5(o Options, rs *runner.ResultSet) (*Table, error) {
+	so, err := microThroughput(rs, DesignSO)
+	if err != nil {
+		return nil, err
 	}
 	t := &Table{
 		ID:      "Figure 5",
@@ -90,11 +117,15 @@ func Figure5Throughput(o Options) (*Table, error) {
 			"expected ordering: SO < sdTM < ATOM < LogTM-ATOM < DHTM",
 		},
 	}
-	for _, d := range designs {
+	for _, d := range fig5Designs() {
+		th, err := microThroughput(rs, d)
+		if err != nil {
+			return nil, err
+		}
 		row := []string{d}
 		prod, n := 1.0, 0
 		for _, w := range workloads.MicroNames() {
-			ratio := ratioTo(perDesign[d][w], perDesign[DesignSO][w])
+			ratio := ratioTo(th[w], so[w])
 			row = append(row, fmtRatio(ratio))
 			prod *= ratio
 			n++
@@ -105,9 +136,15 @@ func Figure5Throughput(o Options) (*Table, error) {
 	return t, nil
 }
 
-// Table5AbortRates reproduces Table V: abort rates of sdTM and DHTM on the
-// micro-benchmarks.
-func Table5AbortRates(o Options) (*Table, error) {
+// planTable5 lays out Table V: sdTM and DHTM on every micro-benchmark.
+func planTable5(o Options) runner.Plan {
+	p := runner.Plan{Name: "table5"}
+	addMicroGrid(&p, o, []string{DesignSdTM, DesignDHTM})
+	return p
+}
+
+// reduceTable5 renders the abort rates of sdTM and DHTM.
+func reduceTable5(o Options, rs *runner.ResultSet) (*Table, error) {
 	t := &Table{
 		ID:      "Table V",
 		Title:   "Abort rates (%) for sdTM and DHTM",
@@ -118,14 +155,14 @@ func Table5AbortRates(o Options) (*Table, error) {
 		},
 	}
 	for _, d := range []string{DesignSdTM, DesignDHTM} {
-		_, st, err := microThroughput(o, d)
-		if err != nil {
-			return nil, err
-		}
 		row := []string{d}
 		var sum float64
 		for _, w := range workloads.MicroNames() {
-			rate := st[w].AbortRate()
+			res, err := rs.Run(d + "/" + w)
+			if err != nil {
+				return nil, err
+			}
+			rate := res.Stats.AbortRate()
 			row = append(row, fmtPercent(rate))
 			sum += rate
 		}
@@ -135,12 +172,26 @@ func Table5AbortRates(o Options) (*Table, error) {
 	return t, nil
 }
 
-// Figure6LogBuffer reproduces Figure 6: DHTM throughput on hash as a function
-// of the log-buffer size, normalized to SO.
-func Figure6LogBuffer(o Options) (*Table, error) {
-	soRes, err := Execute(RunSpec{
-		Design: DesignSO, Workload: "hash", Cfg: o.baseConfig(), TxPerCore: o.txCount(false),
-	})
+// fig6BufferSizes lists the log-buffer sweep points of Figure 6.
+func fig6BufferSizes() []int { return []int{4, 8, 16, 32, 64, 128} }
+
+// planFigure6 lays out Figure 6: the SO baseline on hash plus DHTM on hash
+// at each log-buffer size.
+func planFigure6(o Options) runner.Plan {
+	p := runner.Plan{Name: "fig6"}
+	p.Add(o.cell(DesignSO, "hash", false, runner.Overrides{}))
+	for _, size := range fig6BufferSizes() {
+		p.Add(o.cell(DesignDHTM, "hash", false,
+			runner.Overrides{LogBufferEntries: size},
+			fmt.Sprintf("logbuf=%d", size)))
+	}
+	return p
+}
+
+// reduceFigure6 renders DHTM throughput on hash as a function of the
+// log-buffer size, normalized to SO.
+func reduceFigure6(o Options, rs *runner.ResultSet) (*Table, error) {
+	soRes, err := rs.Run(DesignSO + "/hash")
 	if err != nil {
 		return nil, err
 	}
@@ -153,11 +204,8 @@ func Figure6LogBuffer(o Options) (*Table, error) {
 			"small buffers waste bandwidth on un-coalesced records; very large buffers push log writes into the commit path",
 		},
 	}
-	for _, size := range []int{4, 8, 16, 32, 64, 128} {
-		res, err := Execute(RunSpec{
-			Design: DesignDHTM, Workload: "hash", Cfg: o.baseConfig(),
-			TxPerCore: o.txCount(false), LogBufferEntries: size,
-		})
+	for _, size := range fig6BufferSizes() {
+		res, err := rs.Run(fmt.Sprintf("%s/hash/logbuf=%d", DesignDHTM, size))
 		if err != nil {
 			return nil, err
 		}
@@ -171,9 +219,20 @@ func Figure6LogBuffer(o Options) (*Table, error) {
 	return t, nil
 }
 
-// Table6OLTP reproduces Table VI: TPC-C and TATP throughput of ATOM and DHTM
-// normalized to SO.
-func Table6OLTP(o Options) (*Table, error) {
+// planTable6 lays out Table VI: SO, ATOM and DHTM on both OLTP workloads.
+func planTable6(o Options) runner.Plan {
+	p := runner.Plan{Name: "table6"}
+	for _, w := range []string{"tpcc", "tatp"} {
+		for _, d := range []string{DesignSO, DesignATOM, DesignDHTM} {
+			p.Add(o.cell(d, w, true, runner.Overrides{}))
+		}
+	}
+	return p
+}
+
+// reduceTable6 renders TPC-C and TATP throughput of ATOM and DHTM normalized
+// to SO.
+func reduceTable6(o Options, rs *runner.ResultSet) (*Table, error) {
 	t := &Table{
 		ID:      "Table VI",
 		Title:   "OLTP transaction throughput normalized to SO",
@@ -186,9 +245,7 @@ func Table6OLTP(o Options) (*Table, error) {
 	for _, w := range []string{"tpcc", "tatp"} {
 		ths := make(map[string]float64)
 		for _, d := range []string{DesignSO, DesignATOM, DesignDHTM} {
-			res, err := Execute(RunSpec{
-				Design: d, Workload: w, Cfg: o.baseConfig(), TxPerCore: o.txCount(true),
-			})
+			res, err := rs.Run(d + "/" + w)
 			if err != nil {
 				return nil, fmt.Errorf("table6: %s/%s: %w", d, w, err)
 			}
@@ -204,9 +261,26 @@ func Table6OLTP(o Options) (*Table, error) {
 	return t, nil
 }
 
-// Table7Bandwidth reproduces Table VII: NP and DHTM throughput on hash,
-// normalized to SO, while the memory bandwidth is scaled 1x / 2x / 10x.
-func Table7Bandwidth(o Options) (*Table, error) {
+// table7Scales lists the bandwidth sweep points of Table VII.
+func table7Scales() []float64 { return []float64{1, 2, 10} }
+
+// planTable7 lays out Table VII: SO, NP and DHTM on hash at each memory
+// bandwidth scale.
+func planTable7(o Options) runner.Plan {
+	p := runner.Plan{Name: "table7"}
+	for _, scale := range table7Scales() {
+		for _, d := range []string{DesignSO, DesignNP, DesignDHTM} {
+			p.Add(o.cell(d, "hash", false,
+				runner.Overrides{BandwidthScale: scale},
+				fmt.Sprintf("bw=%gx", scale)))
+		}
+	}
+	return p
+}
+
+// reduceTable7 renders NP and DHTM throughput on hash, normalized to SO,
+// as the memory bandwidth is scaled.
+func reduceTable7(o Options, rs *runner.ResultSet) (*Table, error) {
 	t := &Table{
 		ID:      "Table VII",
 		Title:   "Throughput normalized to SO on hash with varying memory bandwidth",
@@ -216,14 +290,10 @@ func Table7Bandwidth(o Options) (*Table, error) {
 			"expected shape: the NP-DHTM gap narrows as bandwidth grows (durability is bandwidth-bound)",
 		},
 	}
-	for _, scale := range []float64{1, 2, 10} {
-		cfg := o.baseConfig()
-		cfg.BandwidthScale = scale
+	for _, scale := range table7Scales() {
 		ths := make(map[string]float64)
 		for _, d := range []string{DesignSO, DesignNP, DesignDHTM} {
-			res, err := Execute(RunSpec{
-				Design: d, Workload: "hash", Cfg: cfg, TxPerCore: o.txCount(false),
-			})
+			res, err := rs.Run(fmt.Sprintf("%s/hash/bw=%gx", d, scale))
 			if err != nil {
 				return nil, fmt.Errorf("table7: %s@%gx: %w", d, scale, err)
 			}
@@ -241,18 +311,26 @@ func Table7Bandwidth(o Options) (*Table, error) {
 	return t, nil
 }
 
-// DurabilityCost reproduces the §VI.D analysis: the throughput of NP and of
-// an idealised DHTM whose log/data writes are instantaneous, relative to SO
-// and DHTM, averaged over the micro-benchmarks.
-func DurabilityCost(o Options) (*Table, error) {
-	designs := []string{DesignSO, DesignDHTM, DesignDHTMInstant, DesignNP}
-	per := make(map[string]map[string]float64)
-	for _, d := range designs {
-		th, _, err := microThroughput(o, d)
-		if err != nil {
-			return nil, err
-		}
-		per[d] = th
+// durabilityDesigns lists the §VI.D comparison designs in report order.
+func durabilityDesigns() []string {
+	return []string{DesignSO, DesignDHTM, DesignDHTMInstant, DesignNP}
+}
+
+// planDurability lays out the §VI.D grid: SO, DHTM, idealised DHTM and NP on
+// every micro-benchmark.
+func planDurability(o Options) runner.Plan {
+	p := runner.Plan{Name: "durability"}
+	addMicroGrid(&p, o, durabilityDesigns())
+	return p
+}
+
+// reduceDurability renders the throughput of NP and of an idealised DHTM
+// whose log/data writes are instantaneous, relative to SO and DHTM, averaged
+// over the micro-benchmarks.
+func reduceDurability(o Options, rs *runner.ResultSet) (*Table, error) {
+	so, err := microThroughput(rs, DesignSO)
+	if err != nil {
+		return nil, err
 	}
 	t := &Table{
 		ID:      "Section VI.D",
@@ -263,10 +341,14 @@ func DurabilityCost(o Options) (*Table, error) {
 			"expected ordering: DHTM < DHTM-instant < NP",
 		},
 	}
-	for _, d := range designs {
+	for _, d := range durabilityDesigns() {
+		th, err := microThroughput(rs, d)
+		if err != nil {
+			return nil, err
+		}
 		prod, n := 1.0, 0
 		for _, w := range workloads.MicroNames() {
-			prod *= ratioTo(per[d][w], per[DesignSO][w])
+			prod *= ratioTo(th[w], so[w])
 			n++
 		}
 		t.Rows = append(t.Rows, []string{d, fmtRatio(geoMean(prod, n))})
@@ -274,11 +356,45 @@ func DurabilityCost(o Options) (*Table, error) {
 	return t, nil
 }
 
-// Ablations quantifies DHTM's individual design choices on the hash and tpcc
-// workloads: disabling L1-to-LLC overflow (PTM-like, L1-limited), disabling
-// the coalescing log buffer (word-granular logging), and switching the
-// conflict-resolution policy to requester-wins.
-func Ablations(o Options) (*Table, error) {
+// ablationWorkloads lists the workloads the ablations are measured on.
+func ablationWorkloads() []string { return []string{"hash", "tpcc"} }
+
+// ablationVariants lists the DHTM design-choice variants. The baseline row
+// reuses the full-DHTM cells, so its ratio renders as exactly 1.00.
+func ablationVariants() []struct {
+	name    string
+	design  string
+	ov      runner.Overrides
+	idParts []string
+} {
+	rw := runner.Overrides{ConflictPolicy: config.RequesterWins, SetConflictPolicy: true}
+	return []struct {
+		name    string
+		design  string
+		ov      runner.Overrides
+		idParts []string
+	}{
+		{"DHTM (baseline)", DesignDHTM, runner.Overrides{}, nil},
+		{"DHTM-L1 (no overflow)", DesignDHTML1, runner.Overrides{}, nil},
+		{"DHTM-nobuf (no coalescing)", DesignDHTMNoBuf, runner.Overrides{}, nil},
+		{"DHTM requester-wins", DesignDHTM, rw, []string{"policy=requester-wins"}},
+	}
+}
+
+// planAblations lays out the ablation grid: each variant on hash and tpcc.
+// The baseline variant's cells double as the normalization denominators.
+func planAblations(o Options) runner.Plan {
+	p := runner.Plan{Name: "ablation"}
+	for _, v := range ablationVariants() {
+		for _, w := range ablationWorkloads() {
+			p.Add(o.cell(v.design, w, w == "tpcc", v.ov, v.idParts...))
+		}
+	}
+	return p
+}
+
+// reduceAblations renders each variant's throughput normalized to full DHTM.
+func reduceAblations(o Options, rs *runner.ResultSet) (*Table, error) {
 	t := &Table{
 		ID:      "Ablations",
 		Title:   "DHTM design ablations (throughput normalized to full DHTM)",
@@ -288,37 +404,22 @@ func Ablations(o Options) (*Table, error) {
 			"DHTM-nobuf shows what log coalescing buys (bandwidth-bound workloads)",
 		},
 	}
-	workloadsUnder := []string{"hash", "tpcc"}
 	base := make(map[string]float64)
-	for _, w := range workloadsUnder {
-		res, err := Execute(RunSpec{
-			Design: DesignDHTM, Workload: w, Cfg: o.baseConfig(),
-			TxPerCore: o.txCount(w == "tpcc"),
-		})
+	for _, w := range ablationWorkloads() {
+		res, err := rs.Run(DesignDHTM + "/" + w)
 		if err != nil {
 			return nil, err
 		}
 		base[w] = res.Throughput()
 	}
-	variants := []struct {
-		name   string
-		design string
-		policy config.ConflictPolicy
-	}{
-		{"DHTM (baseline)", DesignDHTM, config.FirstWriterWins},
-		{"DHTM-L1 (no overflow)", DesignDHTML1, config.FirstWriterWins},
-		{"DHTM-nobuf (no coalescing)", DesignDHTMNoBuf, config.FirstWriterWins},
-		{"DHTM requester-wins", DesignDHTM, config.RequesterWins},
-	}
-	for _, v := range variants {
+	for _, v := range ablationVariants() {
 		row := []string{v.name}
-		for _, w := range workloadsUnder {
-			cfg := o.baseConfig()
-			cfg.ConflictPolicy = v.policy
-			res, err := Execute(RunSpec{
-				Design: v.design, Workload: w, Cfg: cfg,
-				TxPerCore: o.txCount(w == "tpcc"),
-			})
+		for _, w := range ablationWorkloads() {
+			id := v.design + "/" + w
+			if len(v.idParts) > 0 {
+				id += "/" + v.idParts[0]
+			}
+			res, err := rs.Run(id)
 			if err != nil {
 				return nil, err
 			}

@@ -1,11 +1,15 @@
 // Package harness defines the experiments of the paper's evaluation section
-// (§VI): each table and figure has a corresponding experiment that builds
-// fresh simulated machines, runs the relevant (design, workload) pairs and
-// renders the same rows or series the paper reports. cmd/dhtm-bench and the
-// benchmarks in bench_test.go are thin wrappers around this package.
+// (§VI): each table and figure is a declarative grid of independent
+// simulation cells (a runner.Plan) plus a reducer that renders the same rows
+// or series the paper reports from the grid's results. The runner package
+// fans the cells out across a worker pool; because every cell builds a fresh
+// simulated machine and seeds derive from cell content, parallel and serial
+// sweeps render byte-identical tables. cmd/dhtm-bench and the benchmarks in
+// bench_test.go are thin wrappers around this package.
 package harness
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"strings"
@@ -13,6 +17,7 @@ import (
 	"dhtm/internal/baselines"
 	"dhtm/internal/config"
 	"dhtm/internal/core"
+	"dhtm/internal/runner"
 	"dhtm/internal/txn"
 	"dhtm/internal/workloads"
 )
@@ -62,41 +67,30 @@ func NewRuntime(env *txn.Env, design string) (txn.Runtime, error) {
 	}
 }
 
-// RunSpec describes one simulation run.
-type RunSpec struct {
-	Design    string
-	Workload  string
-	Cfg       config.Config
-	Params    workloads.Params
-	TxPerCore int
-	// LogBufferEntries overrides the DHTM log-buffer size when > 0 (Figure 6).
-	LogBufferEntries int
-}
-
-// Execute builds a fresh machine for the spec and runs it to completion.
-func Execute(spec RunSpec) (workloads.RunResult, error) {
-	cfg := spec.Cfg
-	if cfg.NumCores == 0 {
-		cfg = config.Default()
+// Execute is the cell-runner callback: it builds a fresh, fully isolated
+// machine for the cell (Table III configuration plus the cell's core count
+// and overrides) and runs it to completion. It is safe to call from many
+// goroutines at once — nothing is shared between invocations.
+func Execute(cell runner.Cell) (workloads.RunResult, error) {
+	cfg := config.Default()
+	if cell.Cores > 0 {
+		cfg.NumCores = cell.Cores
 	}
-	if spec.LogBufferEntries > 0 {
-		cfg.LogBufferEntries = spec.LogBufferEntries
-	}
+	cfg = cell.Overrides.Apply(cfg)
 	env, err := txn.NewEnv(cfg)
 	if err != nil {
 		return workloads.RunResult{}, err
 	}
-	rt, err := NewRuntime(env, spec.Design)
+	rt, err := NewRuntime(env, cell.Design)
 	if err != nil {
 		return workloads.RunResult{}, err
 	}
-	w, err := workloads.New(spec.Workload)
+	w, err := workloads.New(cell.Workload)
 	if err != nil {
 		return workloads.RunResult{}, err
 	}
-	p := spec.Params
-	p.Cores = cfg.NumCores
-	txPerCore := spec.TxPerCore
+	p := workloads.Params{Cores: cfg.NumCores, Seed: cell.Seed}
+	txPerCore := cell.TxPerCore
 	if txPerCore <= 0 {
 		txPerCore = 16
 	}
@@ -104,12 +98,24 @@ func Execute(spec RunSpec) (workloads.RunResult, error) {
 }
 
 // Options scales the experiments (Quick shrinks transaction counts so the
-// whole suite finishes in seconds; the defaults give more stable numbers).
+// whole suite finishes in seconds; the defaults give more stable numbers)
+// and configures how their cell grids execute.
 type Options struct {
 	Cores     int
 	TxPerCore int
 	Quick     bool
 	Out       io.Writer
+	// Parallel is the sweep worker-pool size; <= 0 means GOMAXPROCS.
+	Parallel int
+	// Seed is the base seed per-cell seeds derive from (0 = runner default).
+	Seed int64
+	// Progress, when non-nil, receives one event per completed cell.
+	Progress func(runner.ProgressEvent)
+}
+
+// runnerOptions translates experiment options into sweep options.
+func (o Options) runnerOptions() runner.Options {
+	return runner.Options{Parallel: o.Parallel, Seed: o.Seed, Progress: o.Progress}
 }
 
 // txCount picks the per-core transaction count for a workload class.
@@ -129,23 +135,30 @@ func (o Options) txCount(oltp bool) int {
 	}
 }
 
-// baseConfig returns the Table III configuration, optionally overriding the
-// core count.
-func (o Options) baseConfig() config.Config {
-	cfg := config.Default()
-	if o.Cores > 0 {
-		cfg.NumCores = o.Cores
+// cell builds a grid cell with the options' core count applied, identified
+// by the "/"-joined parts.
+func (o Options) cell(design, workload string, oltp bool, ov runner.Overrides, idParts ...string) runner.Cell {
+	id := design + "/" + workload
+	if len(idParts) > 0 {
+		id += "/" + strings.Join(idParts, "/")
 	}
-	return cfg
+	return runner.Cell{
+		ID:        id,
+		Design:    design,
+		Workload:  workload,
+		Cores:     o.Cores,
+		TxPerCore: o.txCount(oltp),
+		Overrides: ov,
+	}
 }
 
 // Table is a rendered experiment result.
 type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // Render writes the table in an aligned plain-text format.
@@ -184,24 +197,74 @@ func (t *Table) Render(w io.Writer) {
 	fmt.Fprintln(w)
 }
 
-// Experiment is one reproducible table or figure from the paper.
+// WriteCSV writes the table as one CSV block: a header row of column names
+// prefixed by the experiment ID, then the data rows.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"experiment"}, t.Columns...)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(append([]string{t.ID}, row...)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Experiment is one reproducible table or figure from the paper, expressed
+// as a declarative cell grid plus a reducer over the grid's results.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(o Options) (*Table, error)
+	// Plan lays out the experiment's independent simulation cells.
+	Plan func(o Options) runner.Plan
+	// Reduce renders the paper's table from the completed grid. Reducers look
+	// results up by cell ID, never by completion order, so they are
+	// insensitive to parallel scheduling.
+	Reduce func(o Options, rs *runner.ResultSet) (*Table, error)
+}
+
+// Run executes the experiment's grid (in parallel per o.Parallel) and
+// reduces it to a table. Cell failures surface as one joined error after
+// every cell has had its chance to run.
+func (e Experiment) Run(o Options) (*Table, error) {
+	rs, err := e.RunGrid(o)
+	if err != nil {
+		return nil, err
+	}
+	if err := rs.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", e.ID, err)
+	}
+	return e.Reduce(o, rs)
+}
+
+// RunGrid executes the experiment's cells and returns the raw result set
+// (for callers that want machine-readable per-cell results alongside the
+// rendered table). Individual cell failures do not discard the set — they
+// stay in their Results entries and in rs.Err(), so callers can still report
+// the successful cells and the derived seeds of the failed ones. The
+// returned error covers plan-level problems only.
+func (e Experiment) RunGrid(o Options) (*runner.ResultSet, error) {
+	rs, err := runner.Run(e.Plan(o), Execute, o.runnerOptions())
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", e.ID, err)
+	}
+	return rs, nil
 }
 
 // Experiments returns every experiment in the order of the paper.
 func Experiments() []Experiment {
 	return []Experiment{
-		{ID: "table4", Title: "Workload write-set sizes (Table IV)", Run: Table4WriteSets},
-		{ID: "fig5", Title: "Micro-benchmark throughput normalized to SO (Figure 5)", Run: Figure5Throughput},
-		{ID: "table5", Title: "Abort rates for sdTM and DHTM (Table V)", Run: Table5AbortRates},
-		{ID: "fig6", Title: "DHTM sensitivity to log-buffer size, hash (Figure 6)", Run: Figure6LogBuffer},
-		{ID: "table6", Title: "TPC-C and TATP throughput normalized to SO (Table VI)", Run: Table6OLTP},
-		{ID: "table7", Title: "NP and DHTM vs memory bandwidth, hash (Table VII)", Run: Table7Bandwidth},
-		{ID: "durability", Title: "The cost of atomic durability (Section VI.D)", Run: DurabilityCost},
-		{ID: "ablation", Title: "DHTM design ablations (overflow, log buffer, conflict policy)", Run: Ablations},
+		{ID: "table4", Title: "Workload write-set sizes (Table IV)", Plan: planTable4, Reduce: reduceTable4},
+		{ID: "fig5", Title: "Micro-benchmark throughput normalized to SO (Figure 5)", Plan: planFigure5, Reduce: reduceFigure5},
+		{ID: "table5", Title: "Abort rates for sdTM and DHTM (Table V)", Plan: planTable5, Reduce: reduceTable5},
+		{ID: "fig6", Title: "DHTM sensitivity to log-buffer size, hash (Figure 6)", Plan: planFigure6, Reduce: reduceFigure6},
+		{ID: "table6", Title: "TPC-C and TATP throughput normalized to SO (Table VI)", Plan: planTable6, Reduce: reduceTable6},
+		{ID: "table7", Title: "NP and DHTM vs memory bandwidth, hash (Table VII)", Plan: planTable7, Reduce: reduceTable7},
+		{ID: "durability", Title: "The cost of atomic durability (Section VI.D)", Plan: planDurability, Reduce: reduceDurability},
+		{ID: "ablation", Title: "DHTM design ablations (overflow, log buffer, conflict policy)", Plan: planAblations, Reduce: reduceAblations},
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"dhtm/internal/config"
+	"dhtm/internal/runner"
 	"dhtm/internal/txn"
 )
 
@@ -32,9 +33,7 @@ func TestNewRuntimeKnowsEveryDesign(t *testing.T) {
 
 // TestExecuteSmallRun checks the Execute plumbing end to end on a tiny run.
 func TestExecuteSmallRun(t *testing.T) {
-	cfg := config.Default()
-	cfg.NumCores = 2
-	res, err := Execute(RunSpec{Design: DesignDHTM, Workload: "sps", Cfg: cfg, TxPerCore: 2})
+	res, err := Execute(runner.Cell{Design: DesignDHTM, Workload: "sps", Cores: 2, TxPerCore: 2})
 	if err != nil {
 		t.Fatalf("Execute: %v", err)
 	}
@@ -57,6 +56,64 @@ func TestExperimentsRegistered(t *testing.T) {
 	}
 	if _, ok := Find("nope"); ok {
 		t.Errorf("bogus experiment found")
+	}
+}
+
+// TestParallelSweepIsDeterministic is the contract the runner refactor must
+// keep: a parallel sweep renders byte-identical tables to a serial one,
+// because every cell simulates an isolated system with a content-derived
+// seed and reducers assemble results by cell ID, not completion order.
+func TestParallelSweepIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full fig5 quick grid twice")
+	}
+	e, ok := Find("fig5")
+	if !ok {
+		t.Fatal("fig5 not registered")
+	}
+	render := func(parallel int) string {
+		tbl, err := e.Run(Options{Quick: true, Parallel: parallel, Seed: 7})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		var sb strings.Builder
+		tbl.Render(&sb)
+		return sb.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatalf("parallel output diverged from serial:\n--- parallel=1 ---\n%s--- parallel=8 ---\n%s", serial, parallel)
+	}
+}
+
+// TestExperimentPlansAreValid checks every experiment's grid has unique,
+// addressable cell IDs at both scales.
+func TestExperimentPlansAreValid(t *testing.T) {
+	for _, e := range Experiments() {
+		for _, o := range []Options{{Quick: true}, {}} {
+			p := e.Plan(o)
+			if err := p.Validate(); err != nil {
+				t.Errorf("%s: %v", e.ID, err)
+			}
+			if len(p.Cells) == 0 {
+				t.Errorf("%s: empty plan", e.ID)
+			}
+		}
+	}
+}
+
+// TestTableCSV checks the machine-readable CSV rendering.
+func TestTableCSV(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "demo", Columns: []string{"a", "bb"},
+		Rows: [][]string{{"1", "2"}}}
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "experiment,a,bb\nX,1,2\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
 	}
 }
 

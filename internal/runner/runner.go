@@ -1,0 +1,335 @@
+// Package runner executes declarative experiment grids. An experiment is a
+// Plan — a flat list of Cells, each naming one independent simulation
+// (design × workload × core count × sweep overrides) — and the runner fans
+// the cells out across a pool of workers. Every cell builds its own fully
+// isolated simulated system, so the sweep is embarrassingly parallel: results
+// land in plan order regardless of completion order, per-cell seeds are
+// derived from the cell's content rather than its schedule, and errors are
+// collected per cell instead of aborting the sweep. Together these make a
+// parallel run byte-identical to a serial one.
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dhtm/internal/config"
+	"dhtm/internal/stats"
+	"dhtm/internal/workloads"
+)
+
+// DefaultSeed is the base seed used when Options.Seed is zero. It matches the
+// historical workloads.Params default so unscripted runs stay comparable.
+const DefaultSeed = 42
+
+// Overrides are the per-cell deviations from the Table III base machine. The
+// zero value means "no override"; only non-zero (or explicitly set) fields
+// are applied, and only set fields contribute to the cell's identity key.
+type Overrides struct {
+	// LogBufferEntries overrides the DHTM coalescing log-buffer size when > 0
+	// (the Figure 6 sweep axis).
+	LogBufferEntries int `json:"log_buffer_entries,omitempty"`
+	// BandwidthScale multiplies the memory bandwidth when > 0 (the Table VII
+	// sweep axis).
+	BandwidthScale float64 `json:"bandwidth_scale,omitempty"`
+	// ConflictPolicy replaces the conflict-resolution policy when
+	// SetConflictPolicy is true (the ablation axis).
+	ConflictPolicy    config.ConflictPolicy `json:"conflict_policy,omitempty"`
+	SetConflictPolicy bool                  `json:"set_conflict_policy,omitempty"`
+}
+
+// Apply rewrites cfg with the set overrides.
+func (ov Overrides) Apply(cfg config.Config) config.Config {
+	if ov.LogBufferEntries > 0 {
+		cfg.LogBufferEntries = ov.LogBufferEntries
+	}
+	if ov.BandwidthScale > 0 {
+		cfg.BandwidthScale = ov.BandwidthScale
+	}
+	if ov.SetConflictPolicy {
+		cfg.ConflictPolicy = ov.ConflictPolicy
+	}
+	return cfg
+}
+
+// key renders only the overrides that deviate from config.Default(), so a
+// cell that spells out a default explicitly hashes identically to one that
+// leaves it unset.
+func (ov Overrides) key() string {
+	def := config.Default()
+	var parts []string
+	if ov.LogBufferEntries > 0 && ov.LogBufferEntries != def.LogBufferEntries {
+		parts = append(parts, fmt.Sprintf("logbuf=%d", ov.LogBufferEntries))
+	}
+	if ov.BandwidthScale > 0 && ov.BandwidthScale != def.BandwidthScale {
+		parts = append(parts, fmt.Sprintf("bw=%g", ov.BandwidthScale))
+	}
+	if ov.SetConflictPolicy && ov.ConflictPolicy != def.ConflictPolicy {
+		parts = append(parts, fmt.Sprintf("policy=%s", ov.ConflictPolicy))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+// Cell is one independent simulation in a sweep grid.
+type Cell struct {
+	// ID addresses the cell's result within its plan (reducers look results
+	// up by ID). IDs must be unique within a plan.
+	ID string `json:"id"`
+	// Design is the transactional design to instantiate (harness.Designs).
+	Design string `json:"design"`
+	// Workload names the benchmark to drive.
+	Workload string `json:"workload"`
+	// Cores overrides the simulated core count when > 0.
+	Cores int `json:"cores,omitempty"`
+	// TxPerCore is the number of transactions each core issues (0 = 16).
+	TxPerCore int `json:"tx_per_core,omitempty"`
+	// Seed is the workload generation seed. Zero means "derive": the runner
+	// fills it from the sweep's base seed and the cell's identity key.
+	Seed int64 `json:"seed,omitempty"`
+	// Overrides deviates from the base machine configuration.
+	Overrides Overrides `json:"overrides,omitempty"`
+}
+
+// Key is the cell's semantic identity: every field that changes what is
+// simulated, and nothing that depends on where the cell sits in a plan. Two
+// cells with equal keys receive equal derived seeds and therefore produce
+// identical results, even across different experiments.
+func (c Cell) Key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|cores=%d|tx=%d", c.Design, c.Workload, c.Cores, c.TxPerCore)
+	if ov := c.Overrides.key(); ov != "" {
+		b.WriteByte('|')
+		b.WriteString(ov)
+	}
+	return b.String()
+}
+
+// DeriveSeed mixes the sweep's base seed with the cell's identity key. The
+// derivation is pure, so any cell can be re-run individually (dhtm-sim with
+// the same -seed and parameters) and reproduce its in-sweep numbers exactly.
+func DeriveSeed(base int64, c Cell) int64 {
+	if base == 0 {
+		base = DefaultSeed
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|", base)
+	h.Write([]byte(c.Key()))
+	// splitmix64 finalizer spreads the FNV bits; keep the seed positive so it
+	// never collides with the zero "derive me" sentinel.
+	z := h.Sum64()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	s := int64(z &^ (1 << 63))
+	if s == 0 {
+		s = DefaultSeed
+	}
+	return s
+}
+
+// Plan is a declarative experiment: a named grid of independent cells.
+type Plan struct {
+	// Name identifies the sweep in progress reports and result documents.
+	Name string `json:"name"`
+	// Cells are the grid points. Order fixes result order, nothing else.
+	Cells []Cell `json:"cells"`
+}
+
+// Add appends a cell and returns its ID, for fluent plan construction.
+func (p *Plan) Add(c Cell) string {
+	p.Cells = append(p.Cells, c)
+	return c.ID
+}
+
+// Validate rejects plans with duplicate or empty cell IDs, which would make
+// result lookup ambiguous.
+func (p Plan) Validate() error {
+	seen := make(map[string]int, len(p.Cells))
+	for i, c := range p.Cells {
+		if c.ID == "" {
+			return fmt.Errorf("runner: plan %q: cell %d has an empty ID", p.Name, i)
+		}
+		if j, dup := seen[c.ID]; dup {
+			return fmt.Errorf("runner: plan %q: duplicate cell ID %q (cells %d and %d)", p.Name, c.ID, j, i)
+		}
+		seen[c.ID] = i
+	}
+	return nil
+}
+
+// ExecFunc runs one cell to completion on a fresh, fully isolated simulated
+// system and returns its result. The harness provides the canonical
+// implementation (harness.Execute); tests substitute their own.
+type ExecFunc func(Cell) (workloads.RunResult, error)
+
+// Result is the outcome of one cell.
+type Result struct {
+	// Cell echoes the executed cell with its derived seed filled in.
+	Cell Cell `json:"cell"`
+	// Run holds the simulation outcome; its Stats are a private snapshot.
+	Run workloads.RunResult `json:"-"`
+	// Err is the cell's failure, nil on success. Failures never abort the
+	// sweep; sibling cells still run and report.
+	Err error `json:"-"`
+	// Elapsed is host wall-clock time spent simulating the cell.
+	Elapsed time.Duration `json:"elapsed_ns"`
+}
+
+// ProgressEvent reports one completed cell to a progress callback.
+type ProgressEvent struct {
+	// Done cells so far (including this one) out of Total.
+	Done, Total int
+	// Result is the completed cell's outcome.
+	Result Result
+}
+
+// Options configures a sweep execution.
+type Options struct {
+	// Parallel is the worker-pool size; <= 0 means GOMAXPROCS.
+	Parallel int
+	// Seed is the base seed that per-cell seeds are derived from; zero means
+	// DefaultSeed.
+	Seed int64
+	// Progress, when non-nil, is invoked once per completed cell. Calls are
+	// serialized (never concurrent) but arrive in completion order, which
+	// under parallelism is not plan order.
+	Progress func(ProgressEvent)
+}
+
+// ResultSet holds a sweep's outcomes in plan order.
+type ResultSet struct {
+	Plan    Plan
+	Results []Result
+	byID    map[string]int
+}
+
+// Get returns the result of the cell with the given ID.
+func (rs *ResultSet) Get(id string) (Result, bool) {
+	i, ok := rs.byID[id]
+	if !ok {
+		return Result{}, false
+	}
+	return rs.Results[i], true
+}
+
+// Run returns the RunResult for a cell ID, with a descriptive error when the
+// cell is missing or failed — the lookup reducers want.
+func (rs *ResultSet) Run(id string) (workloads.RunResult, error) {
+	r, ok := rs.Get(id)
+	if !ok {
+		return workloads.RunResult{}, fmt.Errorf("runner: plan %q has no cell %q", rs.Plan.Name, id)
+	}
+	if r.Err != nil {
+		return workloads.RunResult{}, fmt.Errorf("runner: cell %q: %w", id, r.Err)
+	}
+	return r.Run, nil
+}
+
+// Err joins every cell failure (nil when the whole sweep succeeded).
+func (rs *ResultSet) Err() error {
+	var errs []error
+	for _, r := range rs.Results {
+		if r.Err != nil {
+			errs = append(errs, fmt.Errorf("cell %q: %w", r.Cell.ID, r.Err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// MergedStats aggregates the counters of every successful cell into one
+// Stats, in plan order (Merge is order-independent, so parallel and serial
+// sweeps agree).
+func (rs *ResultSet) MergedStats() *stats.Stats {
+	agg := stats.New(0)
+	for _, r := range rs.Results {
+		if r.Err == nil && r.Run.Stats != nil {
+			agg.Merge(r.Run.Stats)
+		}
+	}
+	return agg
+}
+
+// Elapsed sums host time across cells (total simulation work, which under
+// parallelism exceeds wall-clock time).
+func (rs *ResultSet) Elapsed() time.Duration {
+	var d time.Duration
+	for _, r := range rs.Results {
+		d += r.Elapsed
+	}
+	return d
+}
+
+// Run executes every cell of the plan through exec on a pool of
+// opts.Parallel workers and returns the results in plan order. Each result's
+// Stats are snapshotted, so they stay valid and independent after the cell's
+// simulated system is garbage. A cell failure is recorded in its Result and
+// the sweep continues.
+func Run(plan Plan, exec ExecFunc, opts Options) (*ResultSet, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(plan.Cells) {
+		workers = len(plan.Cells)
+	}
+
+	rs := &ResultSet{
+		Plan:    plan,
+		Results: make([]Result, len(plan.Cells)),
+		byID:    make(map[string]int, len(plan.Cells)),
+	}
+	for i, c := range plan.Cells {
+		rs.byID[c.ID] = i
+	}
+	if len(plan.Cells) == 0 {
+		return rs, nil
+	}
+
+	var (
+		mu   sync.Mutex // serializes Progress and the done counter
+		done int
+	)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				cell := plan.Cells[i]
+				if cell.Seed == 0 {
+					cell.Seed = DeriveSeed(opts.Seed, cell)
+				}
+				start := time.Now()
+				run, err := exec(cell)
+				if err == nil && run.Stats != nil {
+					run.Stats = run.Stats.Snapshot()
+				}
+				res := Result{Cell: cell, Run: run, Err: err, Elapsed: time.Since(start)}
+				rs.Results[i] = res
+				if opts.Progress != nil {
+					mu.Lock()
+					done++
+					opts.Progress(ProgressEvent{Done: done, Total: len(plan.Cells), Result: res})
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range plan.Cells {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return rs, nil
+}

@@ -1,0 +1,234 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"dhtm/internal/config"
+	"dhtm/internal/stats"
+	"dhtm/internal/workloads"
+)
+
+// fakeExec returns an ExecFunc whose result encodes the cell's identity and
+// seed, so tests can check ordering and seeding without running a simulator.
+func fakeExec(calls *atomic.Int64) ExecFunc {
+	return func(c Cell) (workloads.RunResult, error) {
+		calls.Add(1)
+		st := stats.New(1)
+		st.Core(0).Commits = uint64(c.Seed % 1000)
+		st.Core(0).FinalCycle = 100
+		return workloads.RunResult{
+			Design:    c.Design,
+			Workload:  c.Workload,
+			Stats:     st,
+			Committed: uint64(c.Seed % 1000),
+			Cycles:    100,
+		}, nil
+	}
+}
+
+// grid builds an n-cell plan with distinct designs.
+func grid(n int) Plan {
+	p := Plan{Name: "test"}
+	for i := 0; i < n; i++ {
+		p.Add(Cell{ID: fmt.Sprintf("d%d/w", i), Design: fmt.Sprintf("d%d", i), Workload: "w", TxPerCore: 4})
+	}
+	return p
+}
+
+// TestRunExecutesEveryCellInPlanOrder checks that results land in plan
+// order at any parallelism, with every cell executed exactly once.
+func TestRunExecutesEveryCellInPlanOrder(t *testing.T) {
+	for _, par := range []int{1, 4, 16} {
+		var calls atomic.Int64
+		rs, err := Run(grid(9), fakeExec(&calls), Options{Parallel: par})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", par, err)
+		}
+		if calls.Load() != 9 {
+			t.Fatalf("parallel=%d: executed %d cells, want 9", par, calls.Load())
+		}
+		for i, r := range rs.Results {
+			if want := fmt.Sprintf("d%d/w", i); r.Cell.ID != want {
+				t.Fatalf("parallel=%d: result %d is cell %q, want %q", par, i, r.Cell.ID, want)
+			}
+			if r.Err != nil {
+				t.Fatalf("parallel=%d: cell %d failed: %v", par, i, r.Err)
+			}
+		}
+	}
+}
+
+// TestDerivedSeedsAreContentAddressed checks that per-cell seeds depend only
+// on the cell's semantic fields and the base seed — never on plan position
+// or parallelism — so parallel sweeps reproduce serial ones.
+func TestDerivedSeedsAreContentAddressed(t *testing.T) {
+	c := Cell{ID: "a", Design: "DHTM", Workload: "hash", TxPerCore: 8}
+	if DeriveSeed(1, c) != DeriveSeed(1, c) {
+		t.Fatalf("seed derivation is not deterministic")
+	}
+	if DeriveSeed(1, c) == DeriveSeed(2, c) {
+		t.Fatalf("base seed does not influence derived seeds")
+	}
+	other := c
+	other.Workload = "queue"
+	if DeriveSeed(1, c) == DeriveSeed(1, other) {
+		t.Fatalf("distinct cells derived the same seed")
+	}
+	// The ID is addressing, not identity: renaming a cell keeps its seed.
+	renamed := c
+	renamed.ID = "b"
+	if DeriveSeed(1, c) != DeriveSeed(1, renamed) {
+		t.Fatalf("cell ID leaked into seed derivation")
+	}
+	// Spelling out a default override hashes like leaving it unset.
+	spelled := c
+	spelled.Overrides = Overrides{BandwidthScale: 1.0, LogBufferEntries: config.Default().LogBufferEntries}
+	if DeriveSeed(1, c) != DeriveSeed(1, spelled) {
+		t.Fatalf("default-valued override changed the derived seed")
+	}
+	buf := c
+	buf.Overrides = Overrides{LogBufferEntries: 4}
+	if DeriveSeed(1, c) == DeriveSeed(1, buf) {
+		t.Fatalf("log-buffer override did not change the derived seed")
+	}
+	set := c
+	set.Overrides = Overrides{SetConflictPolicy: true, ConflictPolicy: config.RequesterWins}
+	if DeriveSeed(1, c) == DeriveSeed(1, set) {
+		t.Fatalf("conflict-policy override did not change the derived seed")
+	}
+
+	// The same cell run at different parallelism gets the same seed.
+	for _, par := range []int{1, 8} {
+		var calls atomic.Int64
+		rs, err := Run(Plan{Name: "p", Cells: []Cell{c}}, fakeExec(&calls), Options{Parallel: par, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := rs.Results[0].Cell.Seed, DeriveSeed(7, c); got != want {
+			t.Fatalf("parallel=%d: seed %d, want %d", par, got, want)
+		}
+	}
+}
+
+// TestExplicitSeedIsRespected checks that a cell pinning its own seed wins
+// over derivation.
+func TestExplicitSeedIsRespected(t *testing.T) {
+	var calls atomic.Int64
+	p := Plan{Name: "p", Cells: []Cell{{ID: "a", Design: "d", Workload: "w", Seed: 123}}}
+	rs, err := Run(p, fakeExec(&calls), Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Results[0].Cell.Seed != 123 {
+		t.Fatalf("explicit seed overwritten: got %d", rs.Results[0].Cell.Seed)
+	}
+}
+
+// TestErrorsAreCollectedNotFailFast checks that one failing cell neither
+// aborts the sweep nor hides sibling results.
+func TestErrorsAreCollectedNotFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	exec := func(c Cell) (workloads.RunResult, error) {
+		if c.ID == "d1/w" {
+			return workloads.RunResult{}, boom
+		}
+		return workloads.RunResult{Committed: 1, Cycles: 1}, nil
+	}
+	rs, err := Run(grid(3), exec, Options{Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Results[1].Err == nil || !errors.Is(rs.Results[1].Err, boom) {
+		t.Fatalf("failing cell's error lost: %v", rs.Results[1].Err)
+	}
+	for _, i := range []int{0, 2} {
+		if rs.Results[i].Err != nil {
+			t.Fatalf("sibling cell %d failed: %v", i, rs.Results[i].Err)
+		}
+	}
+	if rs.Err() == nil || !errors.Is(rs.Err(), boom) {
+		t.Fatalf("ResultSet.Err did not surface the failure: %v", rs.Err())
+	}
+	if _, err := rs.Run("d1/w"); err == nil {
+		t.Fatalf("Run on a failed cell returned no error")
+	}
+	if _, err := rs.Run("nope"); err == nil {
+		t.Fatalf("Run on a missing cell returned no error")
+	}
+	if _, err := rs.Run("d0/w"); err != nil {
+		t.Fatalf("Run on a good cell failed: %v", err)
+	}
+}
+
+// TestProgressReportsEveryCell checks the progress callback fires once per
+// cell with a monotonically increasing done count.
+func TestProgressReportsEveryCell(t *testing.T) {
+	var calls atomic.Int64
+	var events int
+	last := 0
+	_, err := Run(grid(7), fakeExec(&calls), Options{Parallel: 4, Progress: func(ev ProgressEvent) {
+		events++
+		if ev.Done != last+1 || ev.Total != 7 {
+			t.Errorf("progress event out of order: done=%d total=%d after %d", ev.Done, ev.Total, last)
+		}
+		last = ev.Done
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events != 7 {
+		t.Fatalf("progress fired %d times, want 7", events)
+	}
+}
+
+// TestPlanValidation rejects ambiguous plans.
+func TestPlanValidation(t *testing.T) {
+	dup := Plan{Name: "dup", Cells: []Cell{{ID: "a", Design: "d", Workload: "w"}, {ID: "a", Design: "e", Workload: "w"}}}
+	if _, err := Run(dup, fakeExec(new(atomic.Int64)), Options{}); err == nil {
+		t.Fatalf("duplicate cell IDs accepted")
+	}
+	anon := Plan{Name: "anon", Cells: []Cell{{Design: "d", Workload: "w"}}}
+	if _, err := Run(anon, fakeExec(new(atomic.Int64)), Options{}); err == nil {
+		t.Fatalf("empty cell ID accepted")
+	}
+}
+
+// TestResultStatsAreSnapshotted checks that a result's Stats share nothing
+// with what the exec function returned.
+func TestResultStatsAreSnapshotted(t *testing.T) {
+	src := stats.New(1)
+	src.Core(0).Commits = 5
+	exec := func(Cell) (workloads.RunResult, error) {
+		return workloads.RunResult{Stats: src}, nil
+	}
+	rs, err := Run(grid(1), exec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Core(0).Commits = 99
+	if rs.Results[0].Run.Stats.Core(0).Commits != 5 {
+		t.Fatalf("result stats alias the exec function's Stats")
+	}
+}
+
+// TestMergedStats checks sweep-wide aggregation skips failed cells.
+func TestMergedStats(t *testing.T) {
+	exec := func(c Cell) (workloads.RunResult, error) {
+		if c.ID == "d0/w" {
+			return workloads.RunResult{}, errors.New("down")
+		}
+		st := stats.New(1)
+		st.Core(0).Commits = 4
+		return workloads.RunResult{Stats: st}, nil
+	}
+	rs, err := Run(grid(3), exec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rs.MergedStats().TotalCommits(); got != 8 {
+		t.Fatalf("merged commits = %d, want 8 (two successful cells)", got)
+	}
+}

@@ -1,8 +1,11 @@
 // Package stats collects the counters reported by the evaluation: committed
 // and aborted transactions, cycles, memory traffic broken down by cause, and
-// cache hit rates. One Stats value is shared by a whole simulated system; it
-// is written from the single simulation goroutine that currently holds the
-// scheduling token, so it needs no internal locking.
+// cache hit rates. Each simulated system owns its own Stats value; within a
+// system it is written only from the simulation goroutine that currently
+// holds the scheduling token, so it needs no internal locking. Independent
+// systems (for example the cells of a parallel experiment sweep) each carry
+// their own Stats; Snapshot decouples a result from its system and Merge
+// folds several systems' counters into an aggregate.
 package stats
 
 import (
@@ -91,6 +94,56 @@ func New(n int) *Stats {
 
 // Core returns the per-core counters for core i.
 func (s *Stats) Core(i int) *CoreStats { return &s.Cores[i] }
+
+// Snapshot returns a deep copy of the counters. The copy shares no memory
+// with s, so it stays valid after the simulated system that produced s is
+// discarded and can be read while another run reuses the original.
+func (s *Stats) Snapshot() *Stats {
+	c := *s
+	c.Cores = append([]CoreStats(nil), s.Cores...)
+	return &c
+}
+
+// Merge folds other's counters into s, summing every additive counter
+// element-wise per core (growing s.Cores if other has more cores) and taking
+// the maximum of the per-core final clocks, so a merged Stats reads as one
+// system whose cores ran the union of the work concurrently. Merge is
+// commutative and associative up to core-slice length, which keeps parallel
+// sweep aggregation order-independent.
+func (s *Stats) Merge(other *Stats) {
+	if other == nil {
+		return
+	}
+	for len(s.Cores) < len(other.Cores) {
+		s.Cores = append(s.Cores, CoreStats{})
+	}
+	for i := range other.Cores {
+		a, b := &s.Cores[i], &other.Cores[i]
+		a.Commits += b.Commits
+		a.Aborts += b.Aborts
+		for r := range a.AbortsByReason {
+			a.AbortsByReason[r] += b.AbortsByReason[r]
+		}
+		a.Fallbacks += b.Fallbacks
+		a.TxCycles += b.TxCycles
+		a.StallCycles += b.StallCycles
+		if b.FinalCycle > a.FinalCycle {
+			a.FinalCycle = b.FinalCycle
+		}
+		a.WriteSetLines += b.WriteSetLines
+		a.ReadSetLines += b.ReadSetLines
+		a.L1Hits += b.L1Hits
+		a.L1Misses += b.L1Misses
+		a.LLCHits += b.LLCHits
+		a.LLCMisses += b.LLCMisses
+	}
+	s.LogBytes += other.LogBytes
+	s.DataWriteBytes += other.DataWriteBytes
+	s.DataReadBytes += other.DataReadBytes
+	s.LogRecords += other.LogRecords
+	s.SentinelRecords += other.SentinelRecords
+	s.OverflowedLines += other.OverflowedLines
+}
 
 // TotalCommits sums committed transactions across cores.
 func (s *Stats) TotalCommits() uint64 {

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -49,6 +50,98 @@ func TestSummaryMentionsKeyCounters(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("summary missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// sample builds a fully populated Stats for the snapshot/merge tests.
+func sample(scale uint64) *Stats {
+	s := New(2)
+	for i := range s.Cores {
+		c := s.Core(i)
+		c.Commits = (10 + uint64(i)) * scale
+		c.Aborts = (2 + uint64(i)) * scale
+		c.AbortsByReason[AbortConflict] = scale
+		c.AbortsByReason[AbortLogOverflow] = scale + uint64(i)
+		c.Fallbacks = scale
+		c.TxCycles = 100 * scale
+		c.StallCycles = 40 * scale
+		c.FinalCycle = 1000 * scale
+		c.WriteSetLines = 7 * scale
+		c.ReadSetLines = 9 * scale
+		c.L1Hits = 500 * scale
+		c.L1Misses = 50 * scale
+		c.LLCHits = 30 * scale
+		c.LLCMisses = 20 * scale
+	}
+	s.LogBytes = 640 * scale
+	s.DataWriteBytes = 1280 * scale
+	s.DataReadBytes = 2560 * scale
+	s.LogRecords = 11 * scale
+	s.SentinelRecords = 3 * scale
+	s.OverflowedLines = 5 * scale
+	return s
+}
+
+// TestSnapshotMergeRoundTrip checks that merging a snapshot into a fresh
+// Stats reproduces the original exactly, and that the snapshot is fully
+// decoupled from its source.
+func TestSnapshotMergeRoundTrip(t *testing.T) {
+	orig := sample(1)
+	snap := orig.Snapshot()
+	if !reflect.DeepEqual(orig, snap) {
+		t.Fatalf("snapshot differs from original:\n%+v\nvs\n%+v", orig, snap)
+	}
+	// The snapshot must not alias the original's core slice.
+	orig.Core(0).Commits += 99
+	orig.LogBytes += 99
+	if snap.Core(0).Commits != sample(1).Core(0).Commits || snap.LogBytes != sample(1).LogBytes {
+		t.Fatalf("snapshot aliases its source")
+	}
+
+	rt := New(0)
+	rt.Merge(snap)
+	if !reflect.DeepEqual(rt, snap) {
+		t.Fatalf("merge into empty Stats is not an identity:\n%+v\nvs\n%+v", rt, snap)
+	}
+}
+
+// TestMergeAggregates checks the additive-counters / max-clock semantics and
+// that merge order does not change the result.
+func TestMergeAggregates(t *testing.T) {
+	a, b := sample(1), sample(3)
+
+	ab := a.Snapshot()
+	ab.Merge(b)
+	ba := b.Snapshot()
+	ba.Merge(a)
+	if !reflect.DeepEqual(ab, ba) {
+		t.Fatalf("merge is order-dependent:\n%+v\nvs\n%+v", ab, ba)
+	}
+
+	if got, want := ab.TotalCommits(), a.TotalCommits()+b.TotalCommits(); got != want {
+		t.Errorf("merged commits = %d, want %d", got, want)
+	}
+	if got, want := ab.AbortsFor(AbortLogOverflow), a.AbortsFor(AbortLogOverflow)+b.AbortsFor(AbortLogOverflow); got != want {
+		t.Errorf("merged per-reason aborts = %d, want %d", got, want)
+	}
+	if got, want := ab.LogBytes, a.LogBytes+b.LogBytes; got != want {
+		t.Errorf("merged log bytes = %d, want %d", got, want)
+	}
+	// Final clocks merge as a max: the merged system ran the union of the
+	// work concurrently, so its makespan is the slower system's.
+	if got, want := ab.TotalCycles(), b.TotalCycles(); got != want {
+		t.Errorf("merged makespan = %d, want %d", got, want)
+	}
+
+	// Merging a narrower Stats grows the core slice instead of dropping cores.
+	wide := New(1)
+	wide.Core(0).Commits = 1
+	wide.Merge(sample(1))
+	if len(wide.Cores) != 2 || wide.Core(1).Commits != sample(1).Core(1).Commits {
+		t.Errorf("merge did not grow the core slice: %+v", wide.Cores)
+	}
+	if wide.Core(0).Commits != 1+sample(1).Core(0).Commits {
+		t.Errorf("merge overwrote instead of adding: %d", wide.Core(0).Commits)
 	}
 }
 
