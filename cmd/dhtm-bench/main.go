@@ -16,6 +16,7 @@
 //	dhtm-bench -csv            # CSV rows on stdout
 //	dhtm-bench -progress       # per-cell progress on stderr
 //	dhtm-bench -list           # list experiments
+//	dhtm-bench -cpuprofile cpu.out -memprofile mem.out   # profile the run
 //
 // A failing experiment no longer aborts the run: every selected experiment
 // executes, successful tables render, failures are reported together at the
@@ -28,6 +29,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -53,7 +56,11 @@ type document struct {
 	Experiments []experimentResult `json:"experiments"`
 }
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds main's body so deferred profile writers execute before the
+// process exits with a status code.
+func run() int {
 	exp := flag.String("exp", "all", "experiment to run (comma separated), or 'all'")
 	quick := flag.Bool("quick", false, "use reduced transaction counts")
 	tx := flag.Int("tx", 0, "transactions per core (0 = per-experiment default)")
@@ -64,17 +71,49 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit CSV rows on stdout instead of aligned tables")
 	progress := flag.Bool("progress", false, "report per-cell completion on stderr")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dhtm-bench: creating CPU profile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dhtm-bench: starting CPU profile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dhtm-bench: creating memory profile: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dhtm-bench: writing memory profile: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, e := range harness.Experiments() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
 	if *jsonOut && *csvOut {
 		fmt.Fprintln(os.Stderr, "dhtm-bench: -json and -csv are mutually exclusive")
-		os.Exit(2)
+		return 2
 	}
 
 	opts := harness.Options{
@@ -101,7 +140,7 @@ func main() {
 			e, ok := harness.Find(strings.TrimSpace(id))
 			if !ok {
 				fmt.Fprintf(os.Stderr, "dhtm-bench: unknown experiment %q (use -list)\n", id)
-				os.Exit(2)
+				return 2
 			}
 			selected = append(selected, e)
 		}
@@ -135,7 +174,7 @@ func main() {
 			case *csvOut:
 				if err := table.WriteCSV(os.Stdout); err != nil {
 					fmt.Fprintf(os.Stderr, "dhtm-bench: writing CSV: %v\n", err)
-					os.Exit(1)
+					return 1
 				}
 			default:
 				table.Render(os.Stdout)
@@ -148,7 +187,7 @@ func main() {
 	if *jsonOut {
 		if err := writeJSON(os.Stdout, doc); err != nil {
 			fmt.Fprintf(os.Stderr, "dhtm-bench: encoding JSON: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if len(failures) > 0 {
@@ -156,8 +195,9 @@ func main() {
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "  %s\n", f)
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
 // cellsOf extracts the executed cells (with derived seeds) for the JSON

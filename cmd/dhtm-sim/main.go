@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"dhtm/internal/config"
@@ -55,7 +56,28 @@ func main() {
 	crash := flag.Bool("crash", false, "crash at the last commit point instead of finishing cleanly")
 	image := flag.String("image", "", "write the persistent-memory image to this file (with -crash)")
 	recoverFlag := flag.Bool("recover", false, "run the recovery manager in-process after a crash and verify the workload")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail("creating CPU profile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail("starting CPU profile: %v", err)
+		}
+		done := false
+		stopProfile = func() {
+			if done {
+				return
+			}
+			done = true
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopProfile()
+	}
 
 	designs := splitList(*design)
 	wls := splitList(*workload)
@@ -127,6 +149,7 @@ func main() {
 		}
 	}
 	if rs.Err() != nil {
+		stopProfile()
 		os.Exit(1)
 	}
 }
@@ -209,7 +232,12 @@ func splitList(s string) []string {
 	return out
 }
 
+// stopProfile flushes an active -cpuprofile; every exit path must call it so
+// the profile file gets its trailer even when the run fails.
+var stopProfile = func() {}
+
 func fail(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "dhtm-sim: "+format+"\n", args...)
+	stopProfile()
 	os.Exit(1)
 }

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"dhtm/internal/htm"
 	"dhtm/internal/txn"
 	"dhtm/internal/wal"
 )
@@ -34,7 +35,7 @@ func (a *ATOM) Run(core int, c txn.Clock, t *txn.Transaction) txn.ExecResult {
 
 	var undoPersistAt uint64
 	ltx := &lockedTx{b: a.lockBase, core: core, clock: c,
-		dirty: make(map[uint64]struct{}), read: make(map[uint64]struct{})}
+		dirty: htm.NewLineSet(32), read: htm.NewLineSet(32)}
 	ltx.onWrite = func(la uint64, first bool, _, _ uint64) {
 		if !first {
 			return
@@ -58,7 +59,7 @@ func (a *ATOM) Run(core int, c txn.Clock, t *txn.Transaction) txn.ExecResult {
 	// and the locks released (write-ahead ordering for undo logging).
 	c.AdvanceTo(undoPersistAt)
 	done := c.Now()
-	for la := range ltx.dirty {
+	for _, la := range ltx.dirty.Keys() {
 		if d := a.h.FlushLine(core, la, c.Now()); d > done {
 			done = d
 		}
@@ -73,7 +74,7 @@ func (a *ATOM) Run(core int, c txn.Clock, t *txn.Transaction) txn.ExecResult {
 	a.release(core, c, held)
 	log.EndTx(txid)
 
-	a.finish(core, c, &res, len(ltx.dirty), len(ltx.read))
+	a.finish(core, c, &res, ltx.dirty.Len(), ltx.read.Len())
 	return res
 }
 

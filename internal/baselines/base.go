@@ -48,7 +48,7 @@ type htmBase struct {
 	h   *hier.Hierarchy
 
 	ctxs       []*htm.Ctx
-	overflowed []map[uint64]struct{}
+	overflowed []*htm.LineSet
 
 	// allowOverflow lets write-set lines spill to the LLC (LogTM-ATOM); when
 	// false an L1 write-set eviction aborts the transaction (RTM behaviour,
@@ -64,7 +64,7 @@ func newHTMBase(env *txn.Env, allowOverflow bool) *htmBase {
 	b := &htmBase{env: env, cfg: env.Cfg, h: env.Hier, allowOverflow: allowOverflow}
 	for i := 0; i < env.Cfg.NumCores; i++ {
 		b.ctxs = append(b.ctxs, htm.NewCtx(env.Cfg))
-		b.overflowed = append(b.overflowed, make(map[uint64]struct{}))
+		b.overflowed = append(b.overflowed, htm.NewLineSet(32))
 	}
 	return b
 }
@@ -100,7 +100,7 @@ func (b *htmBase) OnWriteSetEviction(core int, addr uint64, at uint64) bool {
 		b.abort(core, stats.AbortWriteCapacity, at)
 		return false
 	}
-	b.overflowed[core][b.h.Align(addr)] = struct{}{}
+	b.overflowed[core].Add(b.h.Align(addr))
 	return true
 }
 
@@ -124,7 +124,7 @@ func (b *htmBase) OnOwnerReread(core int, addr uint64, line *cache.Line, _ uint6
 	if b.ctxs[core].State != htm.Active {
 		return
 	}
-	if _, ok := b.overflowed[core][b.h.Align(addr)]; ok {
+	if b.overflowed[core].Contains(b.h.Align(addr)) {
 		line.W = true
 	}
 }
@@ -148,10 +148,10 @@ func (b *htmBase) abort(core int, reason stats.AbortReason, at uint64) {
 		}
 		l.R = false
 	})
-	for la := range b.overflowed[core] {
+	for _, la := range b.overflowed[core].Keys() {
 		b.h.InvalidateLLCLine(la)
-		delete(b.overflowed[core], la)
 	}
+	b.overflowed[core].Clear()
 	c.Sig.Clear()
 	if b.onAbort != nil {
 		b.onAbort(core, at)
@@ -165,9 +165,7 @@ func (b *htmBase) begin(core int, c txn.Clock) {
 	for {
 		c.AdvanceTo(ctx.CompletionAt)
 		ctx.BeginReset()
-		for k := range b.overflowed[core] {
-			delete(b.overflowed[core], k)
-		}
+		b.overflowed[core].Clear()
 		v, r := b.h.Load(core, fallbackLockAddr, c.Now(), true)
 		c.AdvanceTo(r.Done)
 		if r.Aborted || ctx.Doomed {
@@ -201,7 +199,7 @@ func (b *htmBase) read(core int, c txn.Clock, addr uint64) uint64 {
 	if ctx.Doomed || ctx.State != htm.Active {
 		txn.AbortNow(ctx.Reason)
 	}
-	ctx.ReadLines[b.h.Align(addr)] = struct{}{}
+	ctx.ReadLines.Add(b.h.Align(addr))
 	return v
 }
 
@@ -220,7 +218,7 @@ func (b *htmBase) write(core int, c txn.Clock, addr uint64, val uint64) {
 	if ctx.Doomed || ctx.State != htm.Active {
 		txn.AbortNow(ctx.Reason)
 	}
-	ctx.WriteLines[b.h.Align(addr)] = struct{}{}
+	ctx.WriteLines.Add(b.h.Align(addr))
 }
 
 // commitVisibility performs the HTM commit point for visibility: read bits,
@@ -232,7 +230,7 @@ func (b *htmBase) commitVisibility(core int) {
 		l.R = false
 		l.W = false
 	})
-	for la := range b.overflowed[core] {
+	for _, la := range b.overflowed[core].Keys() {
 		if ll := b.h.LLC().Peek(la); ll != nil {
 			ll.Sticky = false
 		}
@@ -246,12 +244,10 @@ func (b *htmBase) finishTx(core int, c txn.Clock, res *txn.ExecResult) {
 	ctx := b.ctxs[core]
 	cst := b.env.Stats.Core(core)
 	cst.Commits++
-	cst.WriteSetLines += uint64(len(ctx.WriteLines))
-	cst.ReadSetLines += uint64(len(ctx.ReadLines))
+	cst.WriteSetLines += uint64(ctx.WriteLines.Len())
+	cst.ReadSetLines += uint64(ctx.ReadLines.Len())
 	cst.TxCycles += c.Now() - res.Start
-	for la := range b.overflowed[core] {
-		delete(b.overflowed[core], la)
-	}
+	b.overflowed[core].Clear()
 	ctx.State = htm.Idle
 	res.End = c.Now()
 	res.Committed = true
@@ -279,13 +275,13 @@ func (b *htmBase) runFallback(core int, c txn.Clock, t *txn.Transaction, durable
 		}
 		c.AdvanceTo(r.Done + txn.Backoff(b.cfg, 1))
 	}
-	dirty := make(map[uint64]struct{})
+	dirty := htm.NewLineSet(16)
 	ftx := &plainTx{b: b, core: core, clock: c, dirty: dirty, perWriteCost: b.cfg.FlushIssueLatency}
 	_, _, _ = txn.Attempt(t.Body, ftx)
 	if durable && log != nil {
 		txid := log.BeginTx()
 		persist := c.Now()
-		for la := range dirty {
+		for _, la := range dirty.Keys() {
 			rec := &wal.Record{Type: wal.RecRedo, TxID: txid, LineAddr: la, Data: b.h.LineSnapshot(core, la)}
 			if done, err := log.Append(rec, c.Now()); err == nil && done > persist {
 				persist = done
@@ -298,7 +294,7 @@ func (b *htmBase) runFallback(core int, c txn.Clock, t *txn.Transaction, durable
 			c.AdvanceTo(done)
 		}
 		flushed := c.Now()
-		for la := range dirty {
+		for _, la := range dirty.Keys() {
 			if done := b.h.FlushLine(core, la, c.Now()); done > flushed {
 				flushed = done
 			}
@@ -311,7 +307,7 @@ func (b *htmBase) runFallback(core int, c txn.Clock, t *txn.Transaction, durable
 	}
 	sr := b.h.Store(core, fallbackLockAddr, 0, c.Now(), false)
 	c.AdvanceTo(sr.Done)
-	b.env.Stats.Core(core).WriteSetLines += uint64(len(dirty))
+	b.env.Stats.Core(core).WriteSetLines += uint64(dirty.Len())
 }
 
 // plainTx performs non-transactional, timed accesses (fallback paths and the
@@ -320,7 +316,7 @@ type plainTx struct {
 	b            *htmBase
 	core         int
 	clock        txn.Clock
-	dirty        map[uint64]struct{}
+	dirty        *htm.LineSet
 	perWriteCost uint64
 }
 
@@ -336,7 +332,7 @@ func (t *plainTx) Write(addr uint64, val uint64) {
 	r := t.b.h.Store(t.core, addr, val, t.clock.Now(), false)
 	t.clock.AdvanceTo(r.Done)
 	if t.dirty != nil {
-		t.dirty[t.b.h.Align(addr)] = struct{}{}
+		t.dirty.Add(t.b.h.Align(addr))
 	}
 	if t.perWriteCost > 0 {
 		t.clock.Advance(t.perWriteCost)

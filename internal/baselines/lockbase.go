@@ -3,6 +3,7 @@ package baselines
 import (
 	"dhtm/internal/config"
 	"dhtm/internal/hier"
+	"dhtm/internal/htm"
 	"dhtm/internal/locks"
 	"dhtm/internal/txn"
 )
@@ -46,8 +47,8 @@ type lockedTx struct {
 	b     *lockBase
 	core  int
 	clock txn.Clock
-	dirty map[uint64]struct{}
-	read  map[uint64]struct{}
+	dirty *htm.LineSet
+	read  *htm.LineSet
 	// onWrite, when non-nil, runs before each store with the line address and
 	// whether this is the first store to that line in the transaction; the
 	// designs hook their logging here.
@@ -58,20 +59,20 @@ type lockedTx struct {
 func (t *lockedTx) Read(addr uint64) uint64 {
 	v, r := t.b.h.Load(t.core, addr, t.clock.Now(), false)
 	t.clock.AdvanceTo(r.Done)
-	t.read[t.b.h.Align(addr)] = struct{}{}
+	t.read.Add(t.b.h.Align(addr))
 	return v
 }
 
 // Write implements txn.Tx.
 func (t *lockedTx) Write(addr uint64, val uint64) {
 	la := t.b.h.Align(addr)
-	_, seen := t.dirty[la]
+	seen := t.dirty.Contains(la)
 	if t.onWrite != nil {
 		t.onWrite(la, !seen, addr, val)
 	}
 	r := t.b.h.Store(t.core, addr, val, t.clock.Now(), false)
 	t.clock.AdvanceTo(r.Done)
-	t.dirty[la] = struct{}{}
+	t.dirty.Add(la)
 }
 
 // finish records per-transaction statistics common to the lock-based designs.

@@ -53,7 +53,7 @@ func (t ltTx) Write(addr uint64, val uint64) {
 	l, core := t.l, t.core
 	la := l.h.Align(addr)
 	ctx := l.ctxs[core]
-	if _, seen := ctx.WriteLines[la]; !seen {
+	if !ctx.WriteLines.Contains(la) {
 		// Hardware undo logging: capture the old value before it is
 		// overwritten; the record write consumes bandwidth off the critical
 		// path.
@@ -124,12 +124,8 @@ func (l *LogTMATOM) commitInPlace(core int, c txn.Clock) {
 	// the transaction still holds its write set — conflicting requesters keep
 	// aborting during this window, which is the cost DHTM's redo commit
 	// removes — and visibility is granted afterwards.
-	lines := make([]uint64, 0, len(ctx.WriteLines))
-	for la := range ctx.WriteLines {
-		lines = append(lines, la)
-	}
 	done := c.Now()
-	for _, la := range lines {
+	for _, la := range ctx.WriteLines.Keys() {
 		var d uint64
 		if ln := l.h.L1(core).Peek(la); ln != nil && ln.Valid() {
 			d, _ = l.h.WriteBackL1Line(core, la, c.Now())

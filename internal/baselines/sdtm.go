@@ -124,7 +124,7 @@ func (s *SdTM) commitDurable(core int, c txn.Clock) {
 
 	txid := log.BeginTx()
 	persist := c.Now()
-	for la := range ctx.WriteLines {
+	for _, la := range ctx.WriteLines.Keys() {
 		if s.isSoftLogLine(la) {
 			continue
 		}

@@ -1,6 +1,7 @@
 package baselines
 
 import (
+	"dhtm/internal/htm"
 	"dhtm/internal/txn"
 	"dhtm/internal/wal"
 )
@@ -48,7 +49,7 @@ func (s *SO) Run(core int, c txn.Clock, t *txn.Transaction) txn.ExecResult {
 	}
 
 	ltx := &lockedTx{b: s.lockBase, core: core, clock: c,
-		dirty: make(map[uint64]struct{}), read: make(map[uint64]struct{})}
+		dirty: htm.NewLineSet(32), read: htm.NewLineSet(32)}
 	ltx.onWrite = func(la uint64, first bool, _, _ uint64) {
 		// Composing the word-granular log entry (address + value into the
 		// write-combining buffer) is program work on every store.
@@ -83,7 +84,7 @@ func (s *SO) Run(core int, c txn.Clock, t *txn.Transaction) txn.ExecResult {
 	// appears inside the measured window.
 	log.EndTx(txid)
 
-	s.finish(core, c, &res, len(ltx.dirty), len(ltx.read))
+	s.finish(core, c, &res, ltx.dirty.Len(), ltx.read.Len())
 	return res
 }
 

@@ -101,11 +101,14 @@ func New(sizeBytes, ways, lineSize int) *Cache {
 		ways:     ways,
 		lineSize: uint64(lineSize),
 	}
+	// All ways live in one contiguous slab; each set is a sub-slice. This
+	// keeps construction at two allocations regardless of geometry.
+	slab := make([]Line, numSets*ways)
+	for i := range slab {
+		slab[i].Owner = NoOwner
+	}
 	for i := range c.sets {
-		c.sets[i] = make([]Line, ways)
-		for w := range c.sets[i] {
-			c.sets[i][w].Owner = NoOwner
-		}
+		c.sets[i] = slab[i*ways : (i+1)*ways : (i+1)*ways]
 	}
 	return c
 }

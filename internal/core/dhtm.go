@@ -65,9 +65,9 @@ type coreState struct {
 	ov  *wal.OverflowList
 
 	txid         uint64
-	logPersistAt uint64              // latest durability time of issued log records
-	overflowed   map[uint64]struct{} // write-set lines currently overflowed to the LLC
-	pendingWB    []uint64            // lines awaiting in-place write-back (commit completion)
+	logPersistAt uint64       // latest durability time of issued log records
+	overflowed   *htm.LineSet // write-set lines currently overflowed to the LLC
+	pendingWB    []uint64     // lines awaiting in-place write-back (commit completion)
 	retries      int
 
 	// deps are the committed-but-incomplete transactions whose data this
@@ -108,7 +108,7 @@ func New(env *txn.Env, opt Options) *DHTM {
 			buf:        logbuf.New(bufEntries),
 			log:        env.Registry.Log(i),
 			ov:         env.Registry.Overflow(i),
-			overflowed: make(map[uint64]struct{}),
+			overflowed: htm.NewLineSet(32),
 		})
 	}
 	env.Hier.SetArbiter(d)
@@ -195,8 +195,8 @@ func (d *DHTM) Run(core int, c txn.Clock, t *txn.Transaction) txn.ExecResult {
 	}
 	cst := d.env.Stats.Core(core)
 	cst.Commits++
-	cst.WriteSetLines += uint64(len(cs.ctx.WriteLines))
-	cst.ReadSetLines += uint64(len(cs.ctx.ReadLines))
+	cst.WriteSetLines += uint64(cs.ctx.WriteLines.Len())
+	cst.ReadSetLines += uint64(cs.ctx.ReadLines.Len())
 	cst.TxCycles += c.Now() - res.Start
 	res.End = c.Now()
 	return res
@@ -222,9 +222,7 @@ func (d *DHTM) begin(core int, c txn.Clock) {
 		cs.txid = cs.log.BeginTx()
 		cs.logPersistAt = 0
 		cs.buf.Clear()
-		for k := range cs.overflowed {
-			delete(cs.overflowed, k)
-		}
+		cs.overflowed.Clear()
 		cs.pendingWB = cs.pendingWB[:0]
 		cs.deps = cs.deps[:0]
 		d.truncateSatisfied(core, c.Now())
@@ -262,7 +260,7 @@ func (d *DHTM) txRead(core int, c txn.Clock, addr uint64) uint64 {
 		d.abortCleanup(core, stats.AbortConflict, c.Now())
 		txn.AbortNow(stats.AbortConflict)
 	}
-	cs.ctx.ReadLines[d.h.Align(addr)] = struct{}{}
+	cs.ctx.ReadLines.Add(d.h.Align(addr))
 	return v
 }
 
@@ -284,7 +282,7 @@ func (d *DHTM) txWrite(core int, c txn.Clock, addr uint64, val uint64) {
 		txn.AbortNow(cs.ctx.Reason)
 	}
 	la := d.h.Align(addr)
-	cs.ctx.WriteLines[la] = struct{}{}
+	cs.ctx.WriteLines.Add(la)
 
 	if d.opt.DisableLogBuffer {
 		// Word-granular logging: one (address, value) record per store.
@@ -374,9 +372,7 @@ func (d *DHTM) commit(core int, c txn.Clock) bool {
 			cs.pendingWB = append(cs.pendingWB, l.Addr)
 		}
 	})
-	for la := range cs.overflowed {
-		cs.pendingWB = append(cs.pendingWB, la)
-	}
+	cs.pendingWB = append(cs.pendingWB, cs.overflowed.Keys()...)
 	completionAt := commitAt
 	if !d.opt.InstantPersist {
 		for range cs.pendingWB {
@@ -384,7 +380,7 @@ func (d *DHTM) commit(core int, c txn.Clock) bool {
 				completionAt = done
 			}
 		}
-		if n := len(cs.overflowed); n > 0 {
+		if n := cs.overflowed.Len(); n > 0 {
 			// The memory controller reads the overflow list back to find the
 			// overflowed lines before writing them in place.
 			if _, rdone := d.env.Ctl.ReadWords(cs.ov.Base, n, commitAt); rdone > completionAt {
@@ -443,9 +439,7 @@ func (d *DHTM) completePrevious(core int, c txn.Clock) {
 		}
 		cs.deps = cs.deps[:0]
 		cs.ov.Clear()
-		for k := range cs.overflowed {
-			delete(cs.overflowed, k)
-		}
+		cs.overflowed.Clear()
 		cs.pendingWB = cs.pendingWB[:0]
 		cs.ctx.State = htm.Idle
 		if done > cs.ctx.CompletionAt {
@@ -486,9 +480,7 @@ func (d *DHTM) forceComplete(core int, at uint64) {
 	}
 	cs.deps = cs.deps[:0]
 	cs.ov.Clear()
-	for k := range cs.overflowed {
-		delete(cs.overflowed, k)
-	}
+	cs.overflowed.Clear()
 	cs.pendingWB = cs.pendingWB[:0]
 	cs.ctx.State = htm.Idle
 }
@@ -565,13 +557,13 @@ func (d *DHTM) abortCleanup(core int, reason stats.AbortReason, at uint64) {
 	// background work (reading the overflow list plus an invalidation per
 	// line); the next transaction on this core waits for it.
 	done := at
-	if n := len(cs.overflowed); n > 0 {
+	if n := cs.overflowed.Len(); n > 0 {
 		_, rdone := d.env.Ctl.ReadWords(cs.ov.Base, n, at)
 		done = rdone + uint64(n)*d.cfg.LLCLatency
-		for la := range cs.overflowed {
+		for _, la := range cs.overflowed.Keys() {
 			d.h.InvalidateLLCLine(la)
-			delete(cs.overflowed, la)
 		}
+		cs.overflowed.Clear()
 	}
 	cs.ov.Clear()
 	cs.buf.Clear()
@@ -690,7 +682,7 @@ func (d *DHTM) OnWriteSetEviction(core int, addr uint64, at uint64) bool {
 	if !d.opt.InstantPersist && done > cs.logPersistAt {
 		cs.logPersistAt = done
 	}
-	cs.overflowed[la] = struct{}{}
+	cs.overflowed.Add(la)
 	return true
 }
 
@@ -733,7 +725,7 @@ func (d *DHTM) OnOwnerReread(core int, addr uint64, line *cache.Line, _ uint64) 
 	if cs.ctx.State != htm.Active {
 		return
 	}
-	if _, ok := cs.overflowed[la]; ok {
+	if cs.overflowed.Contains(la) {
 		line.W = true
 	}
 }
@@ -750,7 +742,7 @@ type fallbackTx struct {
 	d     *DHTM
 	core  int
 	clock txn.Clock
-	dirty map[uint64]struct{}
+	dirty *htm.LineSet
 }
 
 // Read implements txn.Tx.
@@ -764,7 +756,7 @@ func (t *fallbackTx) Read(addr uint64) uint64 {
 func (t *fallbackTx) Write(addr uint64, val uint64) {
 	r := t.d.h.Store(t.core, addr, val, t.clock.Now(), false)
 	t.clock.AdvanceTo(r.Done)
-	t.dirty[t.d.h.Align(addr)] = struct{}{}
+	t.dirty.Add(t.d.h.Align(addr))
 	// Software log write: issue cost now, record content at line granularity.
 	t.clock.Advance(t.d.cfg.FlushIssueLatency)
 }
@@ -787,7 +779,7 @@ func (d *DHTM) runFallback(core int, c txn.Clock, t *txn.Transaction) {
 	}
 
 	cs.txid = cs.log.BeginTx()
-	ftx := &fallbackTx{d: d, core: core, clock: c, dirty: make(map[uint64]struct{})}
+	ftx := &fallbackTx{d: d, core: core, clock: c, dirty: htm.NewLineSet(16)}
 	// The fallback path may not fail: explicit aborts are surfaced as a
 	// committed no-op only if the body mutated nothing.
 	_, _, _ = txn.Attempt(t.Body, ftx)
@@ -796,7 +788,7 @@ func (d *DHTM) runFallback(core int, c txn.Clock, t *txn.Transaction) {
 	// in place so the log can be truncated immediately.
 	at := c.Now()
 	persist := at
-	for la := range ftx.dirty {
+	for _, la := range ftx.dirty.Keys() {
 		rec := &wal.Record{Type: wal.RecRedo, TxID: cs.txid, LineAddr: la, Data: d.h.LineSnapshot(core, la)}
 		if done, err := cs.log.Append(rec, at); err == nil && done > persist {
 			persist = done
@@ -809,7 +801,7 @@ func (d *DHTM) runFallback(core int, c txn.Clock, t *txn.Transaction) {
 		c.AdvanceTo(done)
 	}
 	flushed := c.Now()
-	for la := range ftx.dirty {
+	for _, la := range ftx.dirty.Keys() {
 		if done := d.h.FlushLine(core, la, c.Now()); done > flushed {
 			flushed = done
 		}
@@ -826,5 +818,5 @@ func (d *DHTM) runFallback(core int, c txn.Clock, t *txn.Transaction) {
 	c.AdvanceTo(sr.Done)
 
 	cst := d.env.Stats.Core(core)
-	cst.WriteSetLines += uint64(len(ftx.dirty))
+	cst.WriteSetLines += uint64(ftx.dirty.Len())
 }

@@ -1,0 +1,36 @@
+package engine
+
+import "testing"
+
+// BenchmarkEngineYield measures the cost of the scheduling hot path: cores
+// advancing in lockstep so most yields hand the token off, interleaved with
+// stretches where one core stays ahead and the fast path (no channel op, no
+// scan) applies.
+func BenchmarkEngineYield(b *testing.B) {
+	b.ReportAllocs()
+	const cores = 8
+	e := New(cores)
+	per := b.N/cores + 1
+	b.ResetTimer()
+	e.Run(func(core int, c *Clock) {
+		for i := 0; i < per; i++ {
+			// Varying deltas exercise both the stay-ahead fast path and the
+			// handoff slow path, like real memory-system timing does.
+			c.Advance(uint64(1 + (core+i)%5))
+		}
+	})
+}
+
+// BenchmarkEngineYieldFastPath measures the pure fast path: a single core has
+// no other unfinished cores to hand off to, so Advance must stay a plain
+// add-and-compare.
+func BenchmarkEngineYieldFastPath(b *testing.B) {
+	b.ReportAllocs()
+	e := New(1)
+	b.ResetTimer()
+	e.Run(func(core int, c *Clock) {
+		for i := 0; i < b.N; i++ {
+			c.Advance(1)
+		}
+	})
+}

@@ -1,10 +1,19 @@
 // Package engine provides the deterministic multi-core scheduling substrate
 // for the architectural simulator. Each simulated core runs as its own
-// goroutine with a private cycle clock, but only the core with the globally
-// minimum clock is ever allowed to touch shared simulator state. Cores hand
-// the "token" back to the engine every time they advance their clock, so the
-// interleaving of memory-system operations is fully determined by the timing
-// model, never by the Go runtime scheduler.
+// goroutine with a private cycle clock, but only the core holding the single
+// scheduling token is ever allowed to touch shared simulator state. The token
+// moves by direct handoff: when the advancing core is no longer the minimum
+// (clock, core) among unfinished cores it passes the token straight to the
+// core that is, so the interleaving of memory-system operations is fully
+// determined by the timing model, never by the Go runtime scheduler.
+//
+// The hot path is allocation- and lock-free: every Clock caches the
+// lexicographic minimum (clock, core) of the *other* unfinished cores, which
+// cannot change while this core holds the token (parked cores do not move
+// their clocks, and only the token holder can finish). An Advance that keeps
+// the caller in front is therefore a single add-and-compare with no mutex,
+// channel operation, or O(cores) scan; the scan happens once per actual
+// handoff, when the resumed core refreshes its cache.
 package engine
 
 import (
@@ -20,6 +29,14 @@ type Clock struct {
 	core int
 	now  uint64
 	e    *Engine
+
+	// minOtherClock/minOtherCore cache the lexicographic minimum
+	// (clock, core) among the other unfinished cores. The cache is refreshed
+	// every time this core receives the token and stays valid while it holds
+	// it: parked cores cannot advance, and cores only finish while holding
+	// the token themselves. minOtherCore is -1 when no other core remains.
+	minOtherClock uint64
+	minOtherCore  int
 }
 
 // Core returns the core index this clock belongs to.
@@ -28,12 +45,23 @@ func (c *Clock) Core() int { return c.core }
 // Now returns the core's current cycle.
 func (c *Clock) Now() uint64 { return c.now }
 
+// ahead reports whether this core is still the scheduling minimum, i.e.
+// (now, core) <= (minOtherClock, minOtherCore) lexicographically.
+func (c *Clock) ahead() bool {
+	return c.minOtherCore < 0 || c.now < c.minOtherClock ||
+		(c.now == c.minOtherClock && c.core < c.minOtherCore)
+}
+
 // Advance moves the core's clock forward by delta cycles and yields the
 // scheduling token so that any core now lagging behind can catch up before
-// this core performs its next shared-state operation.
+// this core performs its next shared-state operation. When the caller remains
+// the minimum-clock core the yield is a no-op compare and no handoff happens.
 func (c *Clock) Advance(delta uint64) {
 	c.now += delta
-	c.e.yield(c.core, c.now)
+	if c.ahead() {
+		return
+	}
+	c.e.handoff(c)
 }
 
 // AdvanceTo moves the core's clock to cycle (if it is in the future) and
@@ -42,20 +70,46 @@ func (c *Clock) AdvanceTo(cycle uint64) {
 	if cycle > c.now {
 		c.now = cycle
 	}
-	c.e.yield(c.core, c.now)
+	if c.ahead() {
+		return
+	}
+	c.e.handoff(c)
 }
 
 // Yield hands the token back without changing the clock. Useful inside spin
 // loops that poll shared state at the same cycle.
 func (c *Clock) Yield() {
-	c.e.yield(c.core, c.now)
+	if c.ahead() {
+		return
+	}
+	c.e.handoff(c)
 }
 
-// Engine runs one goroutine per core under min-clock-first scheduling.
+// refreshMinOther rescans the other unfinished cores' clocks. Called only
+// while holding the token, whose channel transfer ordered every prior write
+// to e.clocks and e.done before this read.
+func (c *Clock) refreshMinOther() {
+	e := c.e
+	best := -1
+	var bestClock uint64
+	for i := range e.clocks {
+		if i == c.core || e.done[i] {
+			continue
+		}
+		if best < 0 || e.clocks[i] < bestClock {
+			best, bestClock = i, e.clocks[i]
+		}
+	}
+	c.minOtherCore = best
+	c.minOtherClock = bestClock
+}
+
+// Engine runs one goroutine per core under min-clock-first scheduling with a
+// single directly-handed-off token.
 type Engine struct {
-	mu      sync.Mutex
-	clocks  []uint64
-	done    []bool
+	mu      sync.Mutex // guards started only; the token orders everything else
+	clocks  []uint64   // last published clock per core (written at handoff)
+	done    []bool     // set by a finishing core while it holds the token
 	parked  []chan struct{}
 	started bool
 }
@@ -102,21 +156,27 @@ func (e *Engine) Run(body func(core int, c *Clock)) []uint64 {
 	for i := 0; i < n; i++ {
 		go func(core int) {
 			defer wg.Done()
+			c := &Clock{core: core, e: e, minOtherCore: -1}
 			defer func() {
 				if r := recover(); r != nil {
 					panics <- r
 				}
 				e.finish(core)
 			}()
-			c := &Clock{core: core, e: e}
-			// Wait for our first turn before touching shared state.
-			e.yield(core, 0)
+			// Wait for the token before touching shared state; every core
+			// starts at clock 0, so the injected token reaches core 0 first
+			// and flows upward in index order, exactly as min-clock-first
+			// with index tie-breaking demands.
+			<-e.parked[core]
+			c.refreshMinOther()
 			body(core, c)
-			c.e.mu.Lock()
-			c.e.clocks[core] = c.now
-			c.e.mu.Unlock()
+			e.clocks[core] = c.now
 		}(i)
 	}
+
+	// Inject the single scheduling token: all clocks are 0, ties break
+	// towards the lowest index, so core 0 runs first.
+	e.parked[0] <- struct{}{}
 
 	wg.Wait()
 	close(panics)
@@ -124,61 +184,36 @@ func (e *Engine) Run(body func(core int, c *Clock)) []uint64 {
 		panic(r)
 	}
 	out := make([]uint64, n)
-	e.mu.Lock()
 	copy(out, e.clocks)
-	e.mu.Unlock()
 	return out
 }
 
-// yield records the caller's clock and blocks until the caller is the active
-// core with the minimum clock among non-finished cores (ties broken by core
-// index). Wake-ups are re-validated against the current minimum so a stale
-// token buffered in the core's channel can never let it run out of order.
-func (e *Engine) yield(core int, now uint64) {
-	e.mu.Lock()
-	e.clocks[core] = now
-	for {
-		next := e.minCoreLocked()
-		if next == core || next < 0 {
-			e.mu.Unlock()
-			return
-		}
-		// Wake the lagging core, then wait for our own turn.
-		e.wakeLocked(next)
-		e.mu.Unlock()
-		<-e.parked[core]
-		e.mu.Lock()
-	}
+// handoff publishes the caller's clock, passes the token to the cached
+// minimum core and blocks until the token comes back, then refreshes the
+// caller's view of the other cores.
+func (e *Engine) handoff(c *Clock) {
+	e.clocks[c.core] = c.now
+	e.parked[c.minOtherCore] <- struct{}{}
+	<-e.parked[c.core]
+	c.refreshMinOther()
 }
 
-// finish marks a core as completed and wakes whichever core should run next.
+// finish marks a core as completed and hands the token to whichever core
+// should run next. The finishing core holds the token (its body just
+// returned, or panicked, while running), so the writes below are ordered
+// before the receiver's resume.
 func (e *Engine) finish(core int) {
-	e.mu.Lock()
 	e.done[core] = true
-	if next := e.minCoreLocked(); next >= 0 {
-		e.wakeLocked(next)
-	}
-	e.mu.Unlock()
-}
-
-// minCoreLocked returns the unfinished core with the smallest clock, or -1.
-func (e *Engine) minCoreLocked() int {
 	best := -1
 	for i := range e.clocks {
 		if e.done[i] {
 			continue
 		}
-		if best < 0 || e.clocks[i] < e.clocks[best] {
+		if best < 0 || e.clocks[i] < e.clocks[best] || (e.clocks[i] == e.clocks[best] && i < best) {
 			best = i
 		}
 	}
-	return best
-}
-
-// wakeLocked makes core runnable without blocking if it is already runnable.
-func (e *Engine) wakeLocked(core int) {
-	select {
-	case e.parked[core] <- struct{}{}:
-	default:
+	if best >= 0 {
+		e.parked[best] <- struct{}{}
 	}
 }

@@ -105,6 +105,97 @@ func (s *Signature) Clear() {
 	s.count = 0
 }
 
+// LineSet is a reusable set of cache-line addresses: open-addressing lookup
+// with an insertion-ordered key slice for deterministic iteration. Clearing
+// keeps the backing storage, so per-transaction read/write-set tracking costs
+// no allocation in steady state (the map-based predecessor re-bucketed on
+// every transaction). The zero value is not ready for use; call NewLineSet.
+type LineSet struct {
+	table []uint64 // open addressing; 0 = empty slot, else lineAddr+1
+	keys  []uint64 // insertion order
+	mask  uint64
+}
+
+// NewLineSet builds a set pre-sized for about hint lines (minimum 16).
+func NewLineSet(hint int) *LineSet {
+	n := 16
+	for n < hint*2 {
+		n <<= 1
+	}
+	return &LineSet{table: make([]uint64, n), mask: uint64(n - 1)}
+}
+
+// slotHash spreads a line address over the table (splitmix64 finaliser on the
+// line number).
+func slotHash(lineAddr uint64) uint64 {
+	x := lineAddr >> 6
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Len returns the number of distinct line addresses in the set.
+func (s *LineSet) Len() int { return len(s.keys) }
+
+// Contains reports whether lineAddr is in the set.
+func (s *LineSet) Contains(lineAddr uint64) bool {
+	for i := slotHash(lineAddr) & s.mask; ; i = (i + 1) & s.mask {
+		switch s.table[i] {
+		case 0:
+			return false
+		case lineAddr + 1:
+			return true
+		}
+	}
+}
+
+// Add inserts lineAddr, reporting whether it was newly added.
+func (s *LineSet) Add(lineAddr uint64) bool {
+	for i := slotHash(lineAddr) & s.mask; ; i = (i + 1) & s.mask {
+		switch s.table[i] {
+		case 0:
+			s.table[i] = lineAddr + 1
+			s.keys = append(s.keys, lineAddr)
+			if uint64(len(s.keys))*4 >= uint64(len(s.table))*3 {
+				s.grow()
+			}
+			return true
+		case lineAddr + 1:
+			return false
+		}
+	}
+}
+
+// grow doubles the table and re-inserts every key.
+func (s *LineSet) grow() {
+	n := len(s.table) * 2
+	s.table = make([]uint64, n)
+	s.mask = uint64(n - 1)
+	for _, k := range s.keys {
+		i := slotHash(k) & s.mask
+		for s.table[i] != 0 {
+			i = (i + 1) & s.mask
+		}
+		s.table[i] = k + 1
+	}
+}
+
+// Keys returns the line addresses in insertion order. The slice aliases the
+// set's storage and is valid only until the next Add or Clear.
+func (s *LineSet) Keys() []uint64 { return s.keys }
+
+// Clear empties the set, keeping the backing storage for reuse.
+func (s *LineSet) Clear() {
+	if len(s.keys) == 0 {
+		return
+	}
+	clear(s.table)
+	s.keys = s.keys[:0]
+}
+
 // Ctx is the per-core transactional context.
 type Ctx struct {
 	State  State
@@ -117,8 +208,8 @@ type Ctx struct {
 	// current transaction. The hardware equivalents are the W/R bits plus the
 	// overflow structures; the runtime keeps these mirrors for commit/abort
 	// processing and for the write-set-size characterisation (Table IV).
-	WriteLines map[uint64]struct{}
-	ReadLines  map[uint64]struct{}
+	WriteLines *LineSet
+	ReadLines  *LineSet
 
 	// CompletionAt is the cycle at which the previous transaction's
 	// completion phase (write-backs or overflow invalidations) finishes; a
@@ -130,8 +221,8 @@ type Ctx struct {
 func NewCtx(cfg config.Config) *Ctx {
 	return &Ctx{
 		Sig:        NewSignature(cfg.ReadSignatureBits),
-		WriteLines: make(map[uint64]struct{}),
-		ReadLines:  make(map[uint64]struct{}),
+		WriteLines: NewLineSet(64),
+		ReadLines:  NewLineSet(64),
 	}
 }
 
@@ -140,12 +231,8 @@ func (c *Ctx) BeginReset() {
 	c.State = Active
 	c.Doomed = false
 	c.Sig.Clear()
-	for k := range c.WriteLines {
-		delete(c.WriteLines, k)
-	}
-	for k := range c.ReadLines {
-		delete(c.ReadLines, k)
-	}
+	c.WriteLines.Clear()
+	c.ReadLines.Clear()
 }
 
 // Doom marks the transaction as having lost a conflict (or otherwise being

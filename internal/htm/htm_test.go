@@ -72,7 +72,7 @@ func TestCtxLifecycle(t *testing.T) {
 	if c.State != Active || c.Doomed {
 		t.Fatalf("BeginReset did not produce a clean active context")
 	}
-	c.WriteLines[0x40] = struct{}{}
+	c.WriteLines.Add(0x40)
 	c.Doom(stats.AbortConflict)
 	if !c.Doomed || c.Reason != stats.AbortConflict {
 		t.Fatalf("Doom did not record the conflict")
@@ -84,7 +84,7 @@ func TestCtxLifecycle(t *testing.T) {
 		t.Fatalf("Doom on a committed transaction overwrote the abort reason")
 	}
 	c.BeginReset()
-	if len(c.WriteLines) != 0 || c.Doomed {
+	if c.WriteLines.Len() != 0 || c.Doomed {
 		t.Fatalf("BeginReset did not clear per-transaction state")
 	}
 }
@@ -106,5 +106,40 @@ func TestOwnerShouldAbort(t *testing.T) {
 		if got := OwnerShouldAbort(c.policy, c.requesterTx); got != c.want {
 			t.Errorf("OwnerShouldAbort(%v, requesterTx=%v) = %v, want %v", c.policy, c.requesterTx, got, c.want)
 		}
+	}
+}
+
+// TestLineSetBasics checks insertion-order iteration, membership, growth and
+// storage-reusing Clear of the open-addressing line set.
+func TestLineSetBasics(t *testing.T) {
+	s := NewLineSet(4)
+	var want []uint64
+	for i := 0; i < 300; i++ {
+		la := uint64(0x1000_0000 + i*64)
+		if !s.Add(la) {
+			t.Fatalf("Add(%#x) reported duplicate on first insert", la)
+		}
+		if s.Add(la) {
+			t.Fatalf("Add(%#x) reported new on second insert", la)
+		}
+		want = append(want, la)
+	}
+	if s.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(want))
+	}
+	for i, la := range s.Keys() {
+		if la != want[i] {
+			t.Fatalf("Keys()[%d] = %#x, want %#x (insertion order broken)", i, la, want[i])
+		}
+	}
+	if !s.Contains(want[137]) || s.Contains(0x40) {
+		t.Fatalf("Contains gave a wrong answer")
+	}
+	s.Clear()
+	if s.Len() != 0 || s.Contains(want[0]) {
+		t.Fatalf("Clear left members behind")
+	}
+	if !s.Add(want[0]) {
+		t.Fatalf("Add after Clear reported duplicate")
 	}
 }

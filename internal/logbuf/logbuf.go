@@ -45,15 +45,19 @@ func (b *Buffer) indexOf(lineAddr uint64) int {
 // Touch records a store to lineAddr. If the line is already tracked it is
 // moved to most-recently-used and nothing is evicted. If the buffer is full,
 // the least-recently-used entry is evicted and returned — the caller must
-// emit a redo-log record for it.
+// emit a redo-log record for it. Entries shift within the buffer's fixed
+// backing array, so Touch never allocates.
 func (b *Buffer) Touch(lineAddr uint64) (evicted uint64, hasEvict bool) {
 	if i := b.indexOf(lineAddr); i >= 0 {
-		b.entries = append(append(b.entries[:i:i], b.entries[i+1:]...), lineAddr)
+		copy(b.entries[i:], b.entries[i+1:])
+		b.entries[len(b.entries)-1] = lineAddr
 		return 0, false
 	}
 	if len(b.entries) == b.capacity {
 		evicted, hasEvict = b.entries[0], true
-		b.entries = b.entries[1:]
+		copy(b.entries, b.entries[1:])
+		b.entries[len(b.entries)-1] = lineAddr
+		return evicted, hasEvict
 	}
 	b.entries = append(b.entries, lineAddr)
 	return evicted, hasEvict
@@ -67,15 +71,17 @@ func (b *Buffer) Remove(lineAddr uint64) bool {
 	if i < 0 {
 		return false
 	}
-	b.entries = append(b.entries[:i:i], b.entries[i+1:]...)
+	copy(b.entries[i:], b.entries[i+1:])
+	b.entries = b.entries[:len(b.entries)-1]
 	return true
 }
 
 // Drain returns every tracked line (oldest first) and empties the buffer;
 // called at the end of the transaction, when all remaining lines are logged.
+// The returned slice aliases the buffer's backing array and is valid only
+// until the next Touch.
 func (b *Buffer) Drain() []uint64 {
-	out := make([]uint64, len(b.entries))
-	copy(out, b.entries)
+	out := b.entries
 	b.entries = b.entries[:0]
 	return out
 }

@@ -1,0 +1,36 @@
+package memdev
+
+import "testing"
+
+// BenchmarkStoreWriteWord measures the store's word-write hot path over a
+// working set resembling a workload heap (sequential lines with re-touches),
+// which must not allocate once the pages are populated.
+func BenchmarkStoreWriteWord(b *testing.B) {
+	b.ReportAllocs()
+	s := NewStore()
+	const span = 1 << 20 // 1 MB of touched address space
+	for a := uint64(0); a < span; a += 8 {
+		s.WriteWord(a, a)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := (uint64(i) * 64) % span
+		s.WriteWord(addr, uint64(i))
+	}
+}
+
+// BenchmarkStoreReadWord measures the read path against the same layout.
+func BenchmarkStoreReadWord(b *testing.B) {
+	b.ReportAllocs()
+	s := NewStore()
+	const span = 1 << 20
+	for a := uint64(0); a < span; a += 8 {
+		s.WriteWord(a, a)
+	}
+	b.ResetTimer()
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.ReadWord((uint64(i) * 64) % span)
+	}
+	_ = sink
+}

@@ -78,6 +78,16 @@ func (c *Controller) WriteLine(addr uint64, data Line, at uint64, class TrafficC
 	return start + c.cfg.NVMWriteLatency
 }
 
+// WriteWord writes a single 8-byte word, charging bandwidth for it. It is
+// the allocation-free primitive behind per-append metadata persists (log head
+// pointers, overflow-list counts).
+func (c *Controller) WriteWord(addr uint64, word uint64, at uint64, class TrafficClass) uint64 {
+	start := c.occupy(8, at)
+	c.store.WriteWord(addr, word)
+	c.account(8, class)
+	return start + c.cfg.NVMWriteLatency
+}
+
 // WriteWords writes a sequence of 8-byte words starting at addr (8-byte
 // aligned), charging bandwidth for the actual byte count. It is the primitive
 // used for durable log appends and overflow-list entries, which the paper's

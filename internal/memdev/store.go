@@ -12,6 +12,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"math/bits"
 	"sort"
 )
 
@@ -25,16 +26,44 @@ const LineBytes = WordsPerLine * 8
 // Line is the data payload of one cache line.
 type Line [WordsPerLine]uint64
 
-// Store is the durable backing store: a sparse map from line-aligned
-// addresses to line contents. Reads of never-written memory return zeroes,
-// like freshly allocated persistent memory.
+// Page geometry of the store's two-level page table. Each page is one
+// contiguous slab of 512 lines (32 KB of data), allocated on first touch.
+const (
+	pageLineShift = 9 // 512 lines per page
+	pageLines     = 1 << pageLineShift
+	pageLineMask  = pageLines - 1
+	pageByteShift = pageLineShift + 6 // line shift (64 B) + page shift
+	// rootPages bounds the directly indexed root table: pages below it live
+	// in a grow-on-demand slice (pure array indexing on the hot path), pages
+	// at or above it — addresses past 2 GB, which no simulated component
+	// uses — fall back to a sparse map so arbitrary addresses stay legal.
+	rootPages = 1 << 16
+)
+
+// page is one slab of contiguous lines plus a bitmap of the lines that have
+// ever been written. The bitmap preserves the semantics of the previous
+// map-based store: a line written with all-zero data is "populated" and
+// distinguishable from a never-touched (zero-filled) line, so LineCount,
+// ForEachLine and the gob image format are unchanged.
+type page struct {
+	lines   [pageLines]Line
+	written [pageLines / 64]uint64
+}
+
+// Store is the durable backing store: a sparse, two-level page table mapping
+// line-aligned addresses to line slabs. Reads of never-written memory return
+// zeroes, like freshly allocated persistent memory.
 type Store struct {
-	lines map[uint64]*Line
+	root []*page          // indexed by page number, grown on demand
+	far  map[uint64]*page // pages at or above rootPages (cold fallback)
+	// populated counts lines whose written bit is set, i.e. distinct lines
+	// ever written.
+	populated int
 }
 
 // NewStore returns an empty persistent-memory image.
 func NewStore() *Store {
-	return &Store{lines: make(map[uint64]*Line)}
+	return &Store{}
 }
 
 // lineAddr masks addr down to its containing line address.
@@ -43,68 +72,155 @@ func lineAddr(addr uint64) uint64 { return addr &^ uint64(LineBytes-1) }
 // wordIndex returns the word offset of addr within its line.
 func wordIndex(addr uint64) int { return int(addr%LineBytes) / 8 }
 
+// pageOf returns the page containing addr, or nil if it was never written.
+func (s *Store) pageOf(addr uint64) *page {
+	pn := addr >> pageByteShift
+	if pn < uint64(len(s.root)) {
+		return s.root[pn]
+	}
+	if pn < rootPages {
+		return nil
+	}
+	return s.far[pn]
+}
+
+// ensurePage returns the page containing addr, allocating its slab on first
+// touch.
+func (s *Store) ensurePage(addr uint64) *page {
+	pn := addr >> pageByteShift
+	if pn < rootPages {
+		if pn >= uint64(len(s.root)) {
+			// Grow with doubled capacity so ascending first touches cost
+			// amortized O(1) root-table copies, not one copy per page.
+			newLen := pn + 1
+			if d := uint64(2 * len(s.root)); newLen < d {
+				newLen = d
+			}
+			if newLen > rootPages {
+				newLen = rootPages
+			}
+			grown := make([]*page, newLen)
+			copy(grown, s.root)
+			s.root = grown
+		}
+		p := s.root[pn]
+		if p == nil {
+			p = new(page)
+			s.root[pn] = p
+		}
+		return p
+	}
+	if s.far == nil {
+		s.far = make(map[uint64]*page)
+	}
+	p := s.far[pn]
+	if p == nil {
+		p = new(page)
+		s.far[pn] = p
+	}
+	return p
+}
+
+// markWritten sets the written bit for the line slot, maintaining the
+// populated-line count.
+func (s *Store) markWritten(p *page, slot int) {
+	w, b := slot>>6, uint64(1)<<(uint(slot)&63)
+	if p.written[w]&b == 0 {
+		p.written[w] |= b
+		s.populated++
+	}
+}
+
 // ReadWord returns the 8-byte word at addr (addr must be 8-byte aligned).
 func (s *Store) ReadWord(addr uint64) uint64 {
-	l, ok := s.lines[lineAddr(addr)]
-	if !ok {
+	p := s.pageOf(addr)
+	if p == nil {
 		return 0
 	}
-	return l[wordIndex(addr)]
+	return p.lines[(addr>>6)&pageLineMask][wordIndex(addr)]
 }
 
 // WriteWord stores an 8-byte word at addr (addr must be 8-byte aligned).
 func (s *Store) WriteWord(addr uint64, val uint64) {
-	la := lineAddr(addr)
-	l, ok := s.lines[la]
-	if !ok {
-		l = new(Line)
-		s.lines[la] = l
-	}
-	l[wordIndex(addr)] = val
+	p := s.ensurePage(addr)
+	slot := int((addr >> 6) & pageLineMask)
+	s.markWritten(p, slot)
+	p.lines[slot][wordIndex(addr)] = val
 }
 
 // ReadLine returns a copy of the line containing addr.
 func (s *Store) ReadLine(addr uint64) Line {
-	if l, ok := s.lines[lineAddr(addr)]; ok {
-		return *l
+	p := s.pageOf(addr)
+	if p == nil {
+		return Line{}
 	}
-	return Line{}
+	return p.lines[(addr>>6)&pageLineMask]
 }
 
 // WriteLine replaces the entire line containing addr.
 func (s *Store) WriteLine(addr uint64, data Line) {
-	la := lineAddr(addr)
-	l, ok := s.lines[la]
-	if !ok {
-		l = new(Line)
-		s.lines[la] = l
-	}
-	*l = data
+	p := s.ensurePage(addr)
+	slot := int((addr >> 6) & pageLineMask)
+	s.markWritten(p, slot)
+	p.lines[slot] = data
 }
 
 // LineCount reports how many distinct lines have ever been written.
-func (s *Store) LineCount() int { return len(s.lines) }
+func (s *Store) LineCount() int { return s.populated }
+
+// forEachPage visits every allocated page in ascending page-number order.
+func (s *Store) forEachPage(f func(pn uint64, p *page)) {
+	for pn, p := range s.root {
+		if p != nil {
+			f(uint64(pn), p)
+		}
+	}
+	if len(s.far) > 0 {
+		pns := make([]uint64, 0, len(s.far))
+		for pn := range s.far {
+			pns = append(pns, pn)
+		}
+		sort.Slice(pns, func(i, j int) bool { return pns[i] < pns[j] })
+		for _, pn := range pns {
+			f(pn, s.far[pn])
+		}
+	}
+}
 
 // ForEachLine visits every populated line in ascending address order.
 // The callback receives a copy of the line data.
 func (s *Store) ForEachLine(f func(addr uint64, data Line)) {
-	addrs := make([]uint64, 0, len(s.lines))
-	for a := range s.lines {
-		addrs = append(addrs, a)
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	for _, a := range addrs {
-		f(a, *s.lines[a])
-	}
+	s.forEachPage(func(pn uint64, p *page) {
+		base := pn << pageByteShift
+		for w, word := range p.written {
+			for word != 0 {
+				slot := w<<6 + bits.TrailingZeros64(word)
+				word &= word - 1
+				f(base+uint64(slot)<<6, p.lines[slot])
+			}
+		}
+	})
 }
 
 // Clone returns a deep copy of the store, useful for before/after comparisons
 // in crash-recovery tests.
 func (s *Store) Clone() *Store {
-	c := NewStore()
-	for a, l := range s.lines {
-		cp := *l
-		c.lines[a] = &cp
+	c := &Store{populated: s.populated}
+	if len(s.root) > 0 {
+		c.root = make([]*page, len(s.root))
+		for pn, p := range s.root {
+			if p != nil {
+				cp := *p
+				c.root[pn] = &cp
+			}
+		}
+	}
+	if len(s.far) > 0 {
+		c.far = make(map[uint64]*page, len(s.far))
+		for pn, p := range s.far {
+			cp := *p
+			c.far[pn] = &cp
+		}
 	}
 	return c
 }
@@ -138,10 +254,9 @@ func (s *Store) Load(r io.Reader) error {
 	if len(snap.Addrs) != len(snap.Data) {
 		return fmt.Errorf("memdev: corrupt store image: %d addresses, %d lines", len(snap.Addrs), len(snap.Data))
 	}
-	s.lines = make(map[uint64]*Line, len(snap.Addrs))
+	*s = Store{}
 	for i, a := range snap.Addrs {
-		l := snap.Data[i]
-		s.lines[a] = &l
+		s.WriteLine(a, snap.Data[i])
 	}
 	return nil
 }
@@ -151,19 +266,16 @@ func (s *Store) Load(r io.Reader) error {
 func (s *Store) Equal(o *Store) bool {
 	var za Line
 	check := func(a, b *Store) bool {
-		for addr, l := range a.lines {
-			ol, ok := b.lines[addr]
-			if !ok {
-				if *l != za {
-					return false
-				}
-				continue
+		eq := true
+		a.ForEachLine(func(addr uint64, data Line) {
+			if !eq || data == za {
+				return
 			}
-			if *l != *ol {
-				return false
+			if b.ReadLine(addr) != data {
+				eq = false
 			}
-		}
-		return true
+		})
+		return eq
 	}
 	return check(s, o) && check(o, s)
 }

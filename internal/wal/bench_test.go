@@ -1,0 +1,35 @@
+package wal
+
+import (
+	"testing"
+
+	"dhtm/internal/config"
+	"dhtm/internal/memdev"
+)
+
+// BenchmarkLogAppend measures the durable-append hot path — encode into the
+// log's scratch buffer, two bounded device writes, head-pointer persist —
+// which must not allocate per record.
+func BenchmarkLogAppend(b *testing.B) {
+	b.ReportAllocs()
+	cfg := config.Default()
+	store := memdev.NewStore()
+	ctl := memdev.NewController(cfg, store, nil)
+	reg := NewRegistry(ctl, 1, cfg.LogBytesPerThread, cfg.OverflowEntriesPerThread)
+	log := reg.Log(0)
+	rec := &Record{Type: RecRedo, LineAddr: 0x1000_0040, Data: memdev.Line{1, 2, 3, 4, 5, 6, 7, 8}}
+	b.ResetTimer()
+	at := uint64(0)
+	txid := log.BeginTx()
+	for i := 0; i < b.N; i++ {
+		rec.TxID = txid
+		done, err := log.Append(rec, at)
+		if err != nil {
+			// Recycle the log space like a completing transaction does.
+			log.EndTx(txid)
+			txid = log.BeginTx()
+			continue
+		}
+		at = done
+	}
+}

@@ -54,10 +54,10 @@ func (o *OverflowList) Append(lineAddr uint64, at uint64) (uint64, error) {
 	if o.count >= o.Capacity {
 		return at, ErrOverflowListFull
 	}
-	done := o.ctl.WriteWords(o.Base+uint64(o.count*8), []uint64{lineAddr}, at, memdev.TrafficLog)
+	done := o.ctl.WriteWord(o.Base+uint64(o.count*8), lineAddr, at, memdev.TrafficLog)
 	o.count++
 	// Persist the count (one metadata word).
-	d := o.ctl.WriteWords(o.CountAddr, []uint64{uint64(o.count)}, at, memdev.TrafficLog)
+	d := o.ctl.WriteWord(o.CountAddr, uint64(o.count), at, memdev.TrafficLog)
 	if d > done {
 		done = d
 	}

@@ -39,7 +39,13 @@ type ThreadLog struct {
 	// live tracks the start offset of every transaction whose records may
 	// still be needed (active, committing, or committed-but-incomplete), in
 	// begin order, so the tail can advance when the oldest one finishes.
+	// Finished prefixes are compacted in place (the backing array is reused)
+	// rather than re-sliced away, so steady-state operation never allocates.
 	live []liveTx
+
+	// scratch is the reused encode buffer for Append; it grows to the largest
+	// record ever appended (11 words) and is never reallocated afterwards.
+	scratch []uint64
 }
 
 type liveTx struct {
@@ -108,8 +114,13 @@ func (l *ThreadLog) EndTx(txid uint64) {
 			break
 		}
 	}
-	for len(l.live) > 0 && l.live[0].txid == 0 {
-		l.live = l.live[1:]
+	finished := 0
+	for finished < len(l.live) && l.live[finished].txid == 0 {
+		finished++
+	}
+	if finished > 0 {
+		copy(l.live, l.live[finished:])
+		l.live = l.live[:len(l.live)-finished]
 	}
 	if len(l.live) == 0 {
 		l.tail = l.head
@@ -130,12 +141,22 @@ func (l *ThreadLog) used() int {
 // Free returns the number of words that can still be appended.
 func (l *ThreadLog) Free() int { return l.SizeWords - 1 - l.used() }
 
-// Append serialises rec, writes it to persistent memory at the log head and
-// returns the cycle at which the record is durable. The write is charged to
-// the memory-channel bandwidth model (plus one metadata word).
+// Append serialises rec into the log's reused scratch buffer, writes it to
+// persistent memory at the log head and returns the cycle at which the record
+// is durable. The write is charged to the memory-channel bandwidth model,
+// plus one metadata word for persisting the head pointer.
+//
+// Metadata accounting: each append changes exactly one metadata word — the
+// head offset — and that word's persist is charged to the bandwidth model
+// alongside the record. The tail offset does not change during an append
+// (only EndTx/Reset/Grow move it), so no tail write is issued or charged
+// here; EndTx persists the new tail functionally only, standing in for the
+// tail register the hardware keeps on-chip (Table II) whose lazy persistence
+// is off every transaction's critical path.
 func (l *ThreadLog) Append(rec *Record, at uint64) (uint64, error) {
 	rec.Thread = l.Thread
-	words := rec.Encode()
+	l.scratch = rec.EncodeTo(l.scratch[:0])
+	words := l.scratch
 	if len(words) > l.Free() {
 		return at, ErrLogFull
 	}
@@ -158,11 +179,10 @@ func (l *ThreadLog) Append(rec *Record, at uint64) (uint64, error) {
 	}
 	l.head = off
 	// One extra metadata word accounts for persisting the head pointer.
-	d := l.ctl.WriteWords(l.MetaAddr, []uint64{uint64(l.head)}, at, memdev.TrafficLog)
+	d := l.ctl.WriteWord(l.MetaAddr, uint64(l.head), at, memdev.TrafficLog)
 	if d > done {
 		done = d
 	}
-	l.ctl.Store().WriteWord(l.MetaAddr+8, uint64(l.tail))
 	return done, nil
 }
 

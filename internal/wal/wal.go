@@ -103,18 +103,24 @@ func payloadWords(t RecordType) int {
 	}
 }
 
-// Encode serialises the record into words (header first).
-func (r *Record) Encode() []uint64 {
-	words := make([]uint64, 0, 1+payloadWords(r.Type))
-	words = append(words, packHeader(r.Type, r.Thread, r.TxID))
+// EncodeTo appends the record's serialised words (header first) to dst and
+// returns the extended slice. Appending into a reused scratch buffer keeps
+// the per-record hot path (ThreadLog.Append) allocation-free.
+func (r *Record) EncodeTo(dst []uint64) []uint64 {
+	dst = append(dst, packHeader(r.Type, r.Thread, r.TxID))
 	switch r.Type {
 	case RecRedo, RecUndo:
-		words = append(words, r.LineAddr)
-		words = append(words, r.Data[:]...)
+		dst = append(dst, r.LineAddr)
+		dst = append(dst, r.Data[:]...)
 	case RecSentinel:
-		words = append(words, uint64(r.DepThread), r.DepTxID)
+		dst = append(dst, uint64(r.DepThread), r.DepTxID)
 	}
-	return words
+	return dst
+}
+
+// Encode serialises the record into a fresh word slice (header first).
+func (r *Record) Encode() []uint64 {
+	return r.EncodeTo(make([]uint64, 0, 1+payloadWords(r.Type)))
 }
 
 // SizeWords returns the encoded size of the record in 8-byte words.

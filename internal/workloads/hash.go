@@ -29,6 +29,7 @@ type hashWL struct {
 	meta       uint64
 	buckets    uint64
 	numBuckets int
+	bucketMask uint64 // numBuckets-1; the table size is a power of two
 	opsPerTx   int
 	partitions int
 	keySpace   uint64
@@ -45,6 +46,7 @@ const hashSlotsPerBucket = 7
 func (h *hashWL) Setup(heap *palloc.Heap, p Params) error {
 	p = p.Defaults()
 	h.numBuckets = 16384 // 1 MB table; one transaction touches ~3 KB of it
+	h.bucketMask = uint64(h.numBuckets - 1)
 	h.opsPerTx = p.OpsPerTx
 	if h.opsPerTx <= 0 {
 		h.opsPerTx = 64
@@ -56,10 +58,12 @@ func (h *hashWL) Setup(heap *palloc.Heap, p Params) error {
 
 	rng := rand.New(rand.NewSource(p.Seed + 1))
 	var total uint64
-	inserted := make(map[uint64]bool)
+	// Bitset over the (small, dense) key space; a map here dominated setup
+	// cost. Keys are 1-based, hence the +1 sizing.
+	inserted := make([]uint64, (h.keySpace+1+63)/64)
 	for total < uint64(h.numBuckets*hashSlotsPerBucket/2) {
 		key := rng.Uint64()%h.keySpace + 1
-		if inserted[key] {
+		if inserted[key/64]&(1<<(key%64)) != 0 {
 			continue
 		}
 		b := h.bucketOf(key)
@@ -69,7 +73,7 @@ func (h *hashWL) Setup(heap *palloc.Heap, p Params) error {
 		}
 		heap.WriteWord(word(b, 1+int(cnt)), key)
 		heap.WriteWord(word(b, 0), packBucketHeader(cnt+1, sum+key))
-		inserted[key] = true
+		inserted[key/64] |= 1 << (key % 64)
 		total++
 	}
 	heap.WriteWord(word(h.meta, 0), uint64(h.numBuckets))
@@ -86,13 +90,13 @@ func unpackBucketHeader(h uint64) (count, sum uint64) { return h & 0xffff, h >> 
 // bucketOf maps a key to its bucket's line address.
 func (h *hashWL) bucketOf(key uint64) uint64 {
 	x := key * 0x9e3779b97f4a7c15
-	return line(h.buckets, int(x%uint64(h.numBuckets)))
+	return line(h.buckets, int(x&h.bucketMask))
 }
 
 // partitionOf maps a key to the coarse lock partition its bucket belongs to.
 func (h *hashWL) partitionOf(key uint64) uint64 {
 	x := key * 0x9e3779b97f4a7c15
-	idx := int(x % uint64(h.numBuckets))
+	idx := int(x & h.bucketMask)
 	return uint64(idx * h.partitions / h.numBuckets)
 }
 
@@ -103,7 +107,7 @@ const hashWindowsPerPartition = 8
 // windowOf maps a key to its window index within its partition.
 func (h *hashWL) windowOf(key uint64) uint64 {
 	x := key * 0x9e3779b97f4a7c15
-	idx := x % uint64(h.numBuckets)
+	idx := x & h.bucketMask
 	bucketsPerPart := uint64(h.numBuckets / h.partitions)
 	return (idx % bucketsPerPart) * hashWindowsPerPartition / bucketsPerPart
 }
