@@ -1,0 +1,196 @@
+// Command dhtm-crashtest runs the crash-point exploration subsystem: it
+// measures a workload run's persist-event space (every durable write is a
+// numbered crash point), re-runs the workload with a crash injected at each
+// selected point, recovers the resulting image and checks the three
+// durability oracles (workload invariants, prefix consistency, recovery
+// idempotency). Exploration fans out across a worker pool and is fully
+// deterministic, so any reported failure reproduces from its point index.
+//
+// Examples:
+//
+//	dhtm-crashtest -design DHTM -workload hash                  # exhaustive
+//	dhtm-crashtest -design DHTM,ATOM -workload hash,queue -mode stride -samples 64
+//	dhtm-crashtest -design DHTM -workload queue -torn -mode random -samples 128
+//	dhtm-crashtest -design DHTM -workload hash -point 1234      # one point
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dhtm/internal/crashtest"
+	"dhtm/internal/workloads"
+)
+
+func main() {
+	design := flag.String("design", "DHTM", "design(s) to torture, comma separated (supported: "+strings.Join(crashtest.Supported(), ", ")+")")
+	workload := flag.String("workload", "hash", "workload(s) to drive, comma separated")
+	cores := flag.Int("cores", 4, "number of simulated cores")
+	tx := flag.Int("tx", 4, "transactions per core")
+	ops := flag.Int("ops", 0, "operations per transaction (0 = workload default)")
+	seed := flag.Int64("seed", 0, "base seed; run seeds derive deterministically from it and the configuration")
+	mode := flag.String("mode", "all", "crash-point selection: all, stride, random")
+	stride := flag.Int("stride", 0, "explore every N-th point (stride mode; 0 = derive from -samples)")
+	samples := flag.Int("samples", 0, "target point count (stride and random modes)")
+	point := flag.Int("point", -1, "explore exactly this crash point (repro mode; overrides -mode)")
+	torn := flag.Bool("torn", false, "tear the in-flight write at each point (a seed-derived word prefix reaches memory)")
+	parallel := flag.Int("parallel", 0, "points to explore concurrently (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON reports on stdout")
+	progress := flag.Bool("progress", false, "log per-point completion to stderr")
+	flag.Parse()
+
+	designs := splitList(*design)
+	wls := splitList(*workload)
+	if len(designs) == 0 || len(wls) == 0 {
+		misuse("-design and -workload must each name at least one entry")
+	}
+	// Validate every combo up front so a typo in a later list entry cannot
+	// discard the reports of sweeps that already ran (repo convention:
+	// successes still render before a non-zero exit).
+	for _, d := range designs {
+		if !supported(d) {
+			misuse("design %q is not supported (supported: %s)", d, strings.Join(crashtest.Supported(), ", "))
+		}
+	}
+	for _, w := range wls {
+		if _, err := workloads.New(w); err != nil {
+			misuse("%v", err)
+		}
+	}
+	if *mode == "point" {
+		misuse("select a single crash point with -point N, not -mode point")
+	}
+	sel := crashtest.Selection{Mode: *mode, Stride: *stride, Samples: *samples}
+	if *point >= 0 {
+		if len(designs) > 1 || len(wls) > 1 {
+			misuse("-point repro mode requires a single design and workload")
+		}
+		sel = crashtest.Selection{Mode: "point", Point: *point}
+	}
+
+	var reports []*crashtest.Report
+	failed := false
+	for _, d := range designs {
+		for _, w := range wls {
+			cfg := crashtest.Config{
+				Design: d, Workload: w, Cores: *cores, TxPerCore: *tx, OpsPerTx: *ops,
+				Seed: *seed, Torn: *torn, Points: sel, Parallel: *parallel,
+			}
+			if *progress {
+				name := d + "/" + w
+				cfg.Progress = func(done, total int) {
+					if done%64 == 0 || done == total {
+						fmt.Fprintf(os.Stderr, "%s: %d/%d points\n", name, done, total)
+					}
+				}
+			}
+			rep, err := crashtest.Explore(cfg)
+			if err != nil {
+				fail("%s/%s: %v", d, w, err)
+			}
+			reports = append(reports, rep)
+			if rep.Failed > 0 {
+				failed = true
+			}
+			if !*jsonOut {
+				render(rep)
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fail("encoding JSON: %v", err)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// render prints one report in a compact human-readable form.
+func render(r *crashtest.Report) {
+	torn := ""
+	if r.Torn {
+		torn = " torn"
+	}
+	fmt.Printf("%s/%s (cores=%d tx=%d seed=%d%s): %d persist events, explored %d, %d failed  [%v]\n",
+		r.Design, r.Workload, r.Cores, r.TxPerCore, r.BaseSeed, torn,
+		r.TotalPoints, r.Explored, r.Failed, time.Duration(r.ElapsedNS).Round(time.Millisecond))
+	keys := make([]string, 0, len(r.EventsByClass))
+	for k := range r.EventsByClass {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, r.EventsByClass[k]))
+	}
+	fmt.Printf("  events: %s\n", strings.Join(parts, " "))
+	fmt.Printf("  replays/point: %s   rollbacks/point: %s\n", intHistLine(r.ReplayHist), intHistLine(r.RollbackHist))
+	if r.FirstFailure != nil {
+		fmt.Printf("  FIRST FAILURE at point %d (%s): %s\n  reproduce: %s\n",
+			r.FirstFailure.Point, r.FirstFailure.Class, r.FirstFailure.Err, r.Repro)
+	}
+}
+
+// intHistLine renders an int-keyed histogram in ascending key order.
+func intHistLine(h map[int]int) string {
+	max := -1
+	for k := range h {
+		if k > max {
+			max = k
+		}
+	}
+	var parts []string
+	for k := 0; k <= max; k++ {
+		if n, ok := h[k]; ok {
+			parts = append(parts, fmt.Sprintf("%d:%d", k, n))
+		}
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, " ")
+}
+
+// supported reports whether the explorer accepts the design.
+func supported(design string) bool {
+	for _, d := range crashtest.Supported() {
+		if d == design {
+			return true
+		}
+	}
+	return false
+}
+
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// misuse reports a flag-usage error with exit code 2 (the repo convention:
+// 2 = misuse, 1 = a crash point failed an oracle or the run itself failed).
+func misuse(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dhtm-crashtest: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dhtm-crashtest: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -9,9 +9,11 @@
 //	dhtm-sim -design DHTM -workload queue -crash -image crash.img
 //	dhtm-recover -image crash.img -out recovered.img
 //	dhtm-recover -image crash.img -dump        # hex dump of the recovered image
+//	dhtm-recover -image crash.img -dry-run -json   # machine-readable report
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +27,7 @@ func main() {
 	out := flag.String("out", "", "write the recovered image here (default: overwrite the input)")
 	dump := flag.Bool("dump", false, "print a hex dump of the recovered image's populated lines")
 	dryRun := flag.Bool("dry-run", false, "report what recovery would do without writing the image back")
+	jsonOut := flag.Bool("json", false, "emit the recovery report as JSON on stdout (mirrors dhtm-bench -json)")
 	flag.Parse()
 
 	if *image == "" {
@@ -47,10 +50,22 @@ func main() {
 	if err != nil {
 		fail("recovery: %v", err)
 	}
-	fmt.Print(report)
+	// In -json mode stdout carries only the JSON report; human-oriented
+	// output (hex dump, status notes) moves to stderr.
+	aside := os.Stdout
+	if *jsonOut {
+		aside = os.Stderr
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fail("encoding report: %v", err)
+		}
+	} else {
+		fmt.Print(report)
+	}
 
 	if *dump {
-		store.Dump(os.Stdout)
+		store.Dump(aside)
 	}
 	if *dryRun {
 		return
@@ -69,7 +84,7 @@ func main() {
 	if err := w.Close(); err != nil {
 		fail("closing output image: %v", err)
 	}
-	fmt.Printf("recovered image written to %s\n", target)
+	fmt.Fprintf(aside, "recovered image written to %s\n", target)
 }
 
 func fail(format string, args ...interface{}) {

@@ -54,9 +54,16 @@ func (t ltTx) Write(addr uint64, val uint64) {
 	la := l.h.Align(addr)
 	ctx := l.ctxs[core]
 	if !ctx.WriteLines.Contains(la) {
-		// Hardware undo logging: capture the old value before it is
-		// overwritten; the record write consumes bandwidth off the critical
-		// path.
+		// Hardware undo logging composes the record from the coherence data
+		// response — a copy the core has permission to hold. Reading the line
+		// transactionally first models that: it resolves any remote owner's
+		// conflict (aborting this transaction cleanly if it loses, before
+		// anything is logged) and leaves a coherent pre-store image in the L1
+		// to log. Capturing the snapshot without coherence could log a stale
+		// pre-image that, after a crash between the undo append and the abort
+		// marker, recovery would roll back over newer committed data — a bug
+		// the crash-point explorer caught.
+		l.read(core, t.clock, addr)
 		rec := &wal.Record{Type: wal.RecUndo, TxID: l.txids[core], LineAddr: la, Data: l.h.LineSnapshot(core, la)}
 		if done, err := l.env.Registry.Log(core).Append(rec, t.clock.Now()); err == nil {
 			l.env.Stats.LogRecords++
@@ -147,6 +154,11 @@ func (l *LogTMATOM) commitInPlace(core int, c txn.Clock) {
 		c.AdvanceTo(d)
 	}
 	log.EndTx(l.txids[core])
+	// Reset the undo bookkeeping so an abort during the *next* attempt's
+	// begin (before it allocates a txid) cannot charge this transaction's
+	// walk cost again or log a spurious abort marker for it.
+	l.undoRecords[core] = 0
+	l.undoPersistAt[core] = 0
 }
 
 // abortUndo is the design-specific abort work: the undo log must be walked
@@ -154,20 +166,25 @@ func (l *LogTMATOM) commitInPlace(core int, c txn.Clock) {
 // (LogTM stalls them with NACKs; the cost is charged to this core's
 // completion time), and the log is logically cleared with an abort record.
 func (l *LogTMATOM) abortUndo(core int, at uint64) {
-	if l.undoRecords[core] == 0 {
-		return
-	}
 	log := l.env.Registry.Log(core)
-	n := uint64(l.undoRecords[core])
-	// Reading the undo records back and restoring the old values costs a
-	// line transfer each way per record.
-	cost := n * (2*l.cfg.LineTransferCycles() + l.cfg.NVMWriteLatency/4)
-	if at+cost > l.ctxs[core].CompletionAt {
-		l.ctxs[core].CompletionAt = at + cost
+	if l.undoRecords[core] > 0 {
+		n := uint64(l.undoRecords[core])
+		// Reading the undo records back and restoring the old values costs a
+		// line transfer each way per record.
+		cost := n * (2*l.cfg.LineTransferCycles() + l.cfg.NVMWriteLatency/4)
+		if at+cost > l.ctxs[core].CompletionAt {
+			l.ctxs[core].CompletionAt = at + cost
+		}
+		if _, err := log.Append(&wal.Record{Type: wal.RecAbort, TxID: l.txids[core]}, at); err == nil {
+			l.env.Stats.LogRecords++
+		}
 	}
-	if _, err := log.Append(&wal.Record{Type: wal.RecAbort, TxID: l.txids[core]}, at); err == nil {
-		l.env.Stats.LogRecords++
-	}
+	// Release the attempt's log reservation even when it logged nothing: an
+	// attempt that aborted before its first write still holds a live-list
+	// entry, and leaking it pins the tail forever — the log fills, abort
+	// markers stop fitting, and a crash would then roll an aborted
+	// transaction's live undo records back over later committed values
+	// (stale pre-images). Found by the crash-point explorer.
 	log.EndTx(l.txids[core])
 	l.undoRecords[core] = 0
 	l.undoPersistAt[core] = 0

@@ -658,7 +658,7 @@ func (d *DHTM) OnWriteSetEviction(core int, addr uint64, at uint64) bool {
 	if cs.ctx.State == htm.Committed {
 		data := d.h.LineSnapshot(core, la)
 		if d.opt.InstantPersist {
-			d.env.Ctl.Store().WriteLine(la, data)
+			d.env.Ctl.PersistLine(la, data, memdev.TrafficData)
 		} else {
 			d.h.PersistLineInPlace(la, data, at)
 		}
@@ -705,7 +705,7 @@ func (d *DHTM) OnLLCTxEviction(core int, addr uint64, at uint64) {
 	if cs.ctx.State == htm.Committed {
 		data := d.h.LineSnapshot(core, la)
 		if d.opt.InstantPersist {
-			d.env.Ctl.Store().WriteLine(la, data)
+			d.env.Ctl.PersistLine(la, data, memdev.TrafficData)
 		} else {
 			d.h.PersistLineInPlace(la, data, at)
 		}

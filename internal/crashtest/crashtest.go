@@ -1,0 +1,341 @@
+// Package crashtest is the crash-point exploration subsystem: exhaustive
+// durability torture testing for the simulated machine.
+//
+// The repo's original crash tests prove crash consistency at one hand-picked
+// instant (after each core's last committed-but-incomplete transaction). This
+// package proves it at *every* instant: a counting pass runs the workload once
+// with a PersistObserver installed on the memory controller, numbering every
+// durable write (redo/undo appends, commit markers, sentinels, in-place
+// write-backs, log truncations) as a crash point; the explorer then re-runs
+// the identical workload once per selected point k, snapshots the persistent
+// image just before durable write k applies — exactly the image a power
+// failure at that instant leaves behind, with all volatile state and
+// not-yet-persisted writes dropped — optionally tears the in-flight write by
+// applying a prefix of its words, runs recovery.Recover on the snapshot, and
+// checks three oracles:
+//
+//  1. invariants — the workload's own Verify holds on the recovered image;
+//  2. prefix consistency — the recovered image equals a reference image
+//     computed *independently of the durable logs*, from the full persist
+//     trace: every transaction whose commit record persisted before k has its
+//     redo effects applied (in global persist order), every uncommitted
+//     undo-logged transaction is rolled back, and nothing else changed;
+//  3. idempotency — running recovery a second time replays and rolls back
+//     nothing and leaves the image bit-identical.
+//
+// Exploration fans the points out across the internal/runner worker pool;
+// seeds derive from the configuration content exactly as experiment cells do,
+// so any reported point is reproducible from its index alone (the
+// dhtm-crashtest command's -point flag).
+package crashtest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dhtm/internal/harness"
+	"dhtm/internal/runner"
+)
+
+// Selection chooses which crash points of the persist-event space to explore.
+type Selection struct {
+	// Mode is "all" (exhaustive, the default), "stride" (every Stride-th
+	// point), "random" (Samples points drawn from a seed-derived stream) or
+	// "point" (the single point Point, the repro mode).
+	Mode string `json:"mode"`
+	// Stride is the step between explored points in stride mode; when 0,
+	// Samples picks the stride so roughly Samples points are explored.
+	Stride int `json:"stride,omitempty"`
+	// Samples is the target point count for random mode (and for stride mode
+	// when Stride is 0).
+	Samples int `json:"samples,omitempty"`
+	// Point is the single crash point explored in point mode.
+	Point int `json:"point,omitempty"`
+}
+
+// Config parameterises one exploration.
+type Config struct {
+	// Design is the transactional design to torture. Only designs whose
+	// durability protocol recovery.Recover understands are accepted — see
+	// Supported.
+	Design string `json:"design"`
+	// Workload names the benchmark driven during the run.
+	Workload string `json:"workload"`
+	// Cores is the simulated core count (0 = 4).
+	Cores int `json:"cores"`
+	// TxPerCore is the number of transactions each core issues (0 = 4).
+	TxPerCore int `json:"tx_per_core"`
+	// OpsPerTx overrides the workload's per-transaction operation count when
+	// > 0; smaller transactions shrink the persist-event space, which keeps
+	// exhaustive sweeps fast.
+	OpsPerTx int `json:"ops_per_tx,omitempty"`
+	// Seed is the base seed; the run seed derives from it and the
+	// configuration content exactly as runner cells derive theirs (0 = the
+	// runner default).
+	Seed int64 `json:"seed"`
+	// Torn additionally tears the in-flight write at each crash point: a
+	// seed-derived prefix of its words reaches memory, modelling a line torn
+	// mid-transfer. Single-word writes are 8-byte atomic and stay untorn.
+	Torn bool `json:"torn"`
+	// Points selects the crash points to explore.
+	Points Selection `json:"points"`
+	// Parallel is the worker-pool size (<= 0 = GOMAXPROCS).
+	Parallel int `json:"-"`
+	// Progress, when non-nil, is called after each explored point.
+	Progress func(done, total int) `json:"-"`
+}
+
+// Supported lists the designs the explorer accepts: those whose durability
+// goes through the hardware write-ahead logs that recovery.Recover replays.
+// SO and sdTM model Mnemosyne-style software logging whose in-place
+// persistence is deferred past the simulated window (their logs truncate
+// before data reaches memory), so arbitrary-point recovery is undefined for
+// them by construction; NP is volatile; DHTM-nobuf emits word-granular
+// records whose line-aligned case recovery cannot yet distinguish from full
+// lines.
+func Supported() []string {
+	return []string{harness.DesignDHTM, harness.DesignDHTML1, harness.DesignATOM, harness.DesignLogTMATOM}
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Cores <= 0 {
+		c.Cores = 4
+	}
+	if c.TxPerCore <= 0 {
+		c.TxPerCore = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = runner.DefaultSeed
+	}
+	if c.Points.Mode == "" {
+		c.Points.Mode = "all"
+	}
+	return c
+}
+
+// validate rejects configurations the explorer cannot torture meaningfully.
+func (c Config) validate() error {
+	for _, d := range Supported() {
+		if c.Design == d {
+			return nil
+		}
+	}
+	return fmt.Errorf("crashtest: design %q is not supported (supported: %v)", c.Design, Supported())
+}
+
+// RunSeed returns the content-derived seed the exploration's runs use, the
+// same derivation experiment cells use, so a point's workload can also be
+// replayed standalone under dhtm-sim.
+func (c Config) RunSeed() int64 {
+	c = c.withDefaults()
+	return runner.DeriveSeed(c.Seed, runner.Cell{
+		Design: c.Design, Workload: c.Workload, Cores: c.Cores, TxPerCore: c.TxPerCore,
+	})
+}
+
+// PointResult is the outcome of exploring one crash point.
+type PointResult struct {
+	// Point is the crash point's index in the persist-event space.
+	Point int `json:"point"`
+	// Class is the traffic class of the interrupted durable write.
+	Class string `json:"class"`
+	// TornWords is how many words of the in-flight write reached memory
+	// (torn mode only; 0 means the write was lost entirely).
+	TornWords int `json:"torn_words,omitempty"`
+	// Replayed and RolledBack echo the recovery report at this point.
+	Replayed   int `json:"replayed"`
+	RolledBack int `json:"rolled_back"`
+	// Err names the violated oracle; empty when every oracle passed.
+	Err string `json:"error,omitempty"`
+}
+
+// Report aggregates one exploration.
+type Report struct {
+	Design    string `json:"design"`
+	Workload  string `json:"workload"`
+	Cores     int    `json:"cores"`
+	TxPerCore int    `json:"tx_per_core"`
+	OpsPerTx  int    `json:"ops_per_tx,omitempty"`
+	BaseSeed  int64  `json:"base_seed"`
+	RunSeed   int64  `json:"run_seed"`
+	Torn      bool   `json:"torn"`
+
+	// TotalPoints is the size of the run's persist-event space; Explored is
+	// how many of those points were crashed and recovered.
+	TotalPoints int `json:"total_points"`
+	Explored    int `json:"explored"`
+	Failed      int `json:"failed"`
+
+	// EventsByClass counts the full event space by traffic class.
+	EventsByClass map[string]int `json:"events_by_class"`
+	// ReplayHist[r] counts explored points whose recovery replayed r
+	// committed-but-incomplete transactions; RollbackHist likewise for
+	// rollbacks.
+	ReplayHist   map[int]int `json:"replay_hist"`
+	RollbackHist map[int]int `json:"rollback_hist"`
+
+	// Failures lists every failing point in ascending point order;
+	// FirstFailure duplicates the first for quick access and Repro is the
+	// exact command that re-explores it.
+	Failures     []PointResult `json:"failures,omitempty"`
+	FirstFailure *PointResult  `json:"first_failure,omitempty"`
+	Repro        string        `json:"repro,omitempty"`
+
+	ElapsedNS int64 `json:"elapsed_ns"`
+}
+
+// Explore measures the configuration's persist-event space and crash-tests
+// the selected points, returning the aggregated report. Oracle violations are
+// recorded per point, not returned as an error; use Torture to fail on them.
+func Explore(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	runSeed := cfg.RunSeed()
+	start := time.Now()
+
+	trace, err := cfg.countPass(runSeed)
+	if err != nil {
+		return nil, err
+	}
+	points, err := pickPoints(len(trace), cfg.Points, runSeed)
+	if err != nil {
+		return nil, err
+	}
+
+	results := make([]PointResult, len(points))
+	var mu sync.Mutex
+	done := 0
+	runner.ForEach(len(points), cfg.Parallel, func(i int) {
+		results[i] = cfg.explorePoint(runSeed, trace, points[i])
+		if cfg.Progress != nil {
+			mu.Lock()
+			done++
+			cfg.Progress(done, len(points))
+			mu.Unlock()
+		}
+	})
+
+	rep := &Report{
+		Design: cfg.Design, Workload: cfg.Workload, Cores: cfg.Cores,
+		TxPerCore: cfg.TxPerCore, OpsPerTx: cfg.OpsPerTx,
+		BaseSeed: cfg.Seed, RunSeed: runSeed, Torn: cfg.Torn,
+		TotalPoints:   len(trace),
+		Explored:      len(points),
+		EventsByClass: make(map[string]int),
+		ReplayHist:    make(map[int]int),
+		RollbackHist:  make(map[int]int),
+	}
+	for _, ev := range trace {
+		rep.EventsByClass[ev.class.String()]++
+	}
+	for _, r := range results {
+		if r.Err != "" {
+			rep.Failed++
+			rep.Failures = append(rep.Failures, r)
+			continue
+		}
+		rep.ReplayHist[r.Replayed]++
+		rep.RollbackHist[r.RolledBack]++
+	}
+	if len(rep.Failures) > 0 {
+		first := rep.Failures[0]
+		rep.FirstFailure = &first
+		rep.Repro = cfg.reproCommand(first.Point)
+	}
+	rep.ElapsedNS = time.Since(start).Nanoseconds()
+	return rep, nil
+}
+
+// Torture is the sweep-test entry point: it explores the configured space and
+// returns an error (alongside the report) if any point violated an oracle.
+func Torture(cfg Config) (*Report, error) {
+	rep, err := Explore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Failed > 0 {
+		f := rep.FirstFailure
+		return rep, fmt.Errorf("crashtest: %s/%s: %d of %d crash points failed; first at point %d (%s): %s — reproduce: %s",
+			rep.Design, rep.Workload, rep.Failed, rep.Explored, f.Point, f.Class, f.Err, rep.Repro)
+	}
+	return rep, nil
+}
+
+// reproCommand renders the exact dhtm-crashtest invocation that re-explores a
+// single point of this configuration.
+func (c Config) reproCommand(point int) string {
+	cmd := fmt.Sprintf("dhtm-crashtest -design %s -workload %s -cores %d -tx %d",
+		c.Design, c.Workload, c.Cores, c.TxPerCore)
+	if c.OpsPerTx > 0 {
+		cmd += fmt.Sprintf(" -ops %d", c.OpsPerTx)
+	}
+	cmd += fmt.Sprintf(" -seed %d", c.Seed)
+	if c.Torn {
+		cmd += " -torn"
+	}
+	return cmd + fmt.Sprintf(" -point %d", point)
+}
+
+// pickPoints resolves a Selection against a persist-event space of n points
+// into a sorted, deduplicated index list.
+func pickPoints(n int, sel Selection, runSeed int64) ([]int, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("crashtest: the run produced no persist events")
+	}
+	switch sel.Mode {
+	case "", "all":
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	case "stride":
+		stride := sel.Stride
+		if stride <= 0 {
+			if sel.Samples <= 0 {
+				return nil, fmt.Errorf("crashtest: stride selection needs Stride or Samples")
+			}
+			stride = (n + sel.Samples - 1) / sel.Samples
+			if stride < 1 {
+				stride = 1
+			}
+		}
+		var out []int
+		for i := 0; i < n; i += stride {
+			out = append(out, i)
+		}
+		return out, nil
+	case "random":
+		if sel.Samples <= 0 {
+			return nil, fmt.Errorf("crashtest: random selection needs Samples > 0")
+		}
+		if sel.Samples >= n {
+			return pickPoints(n, Selection{Mode: "all"}, runSeed)
+		}
+		seen := make(map[int]bool, sel.Samples)
+		var out []int
+		state := uint64(runSeed)
+		for len(out) < sel.Samples {
+			state = runner.Mix64(state + 0x9e3779b97f4a7c15)
+			p := int(state % uint64(n))
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+		sort.Ints(out)
+		return out, nil
+	case "point":
+		if sel.Point < 0 || sel.Point >= n {
+			return nil, fmt.Errorf("crashtest: point %d outside the persist-event space [0,%d)", sel.Point, n)
+		}
+		return []int{sel.Point}, nil
+	default:
+		return nil, fmt.Errorf("crashtest: unknown selection mode %q (all, stride, random, point)", sel.Mode)
+	}
+}

@@ -1,0 +1,180 @@
+package crashtest
+
+import (
+	"fmt"
+	"sort"
+
+	"dhtm/internal/memdev"
+	"dhtm/internal/wal"
+)
+
+// txKey identifies a transaction across threads in the decoded trace.
+type txKey struct {
+	thread int
+	txid   uint64
+}
+
+// txState accumulates what the trace reveals about one transaction.
+type txState struct {
+	committed bool
+	aborted   bool
+	undo      []wal.Record // append order
+}
+
+// redoEntry is one redo record in global persist order.
+type redoEntry struct {
+	key txKey
+	rec wal.Record
+}
+
+// expectedImage computes the reference durable image for a crash after the
+// given event prefix, independently of the durable logs the recovery manager
+// reads: it decodes the log-record persist events back into records (the
+// trace never loses records to truncation, torn writes or head-pointer races)
+// and applies the same semantics recovery promises — uncommitted undo-logged
+// transactions are rolled back (newest record first) and the redo records of
+// every transaction whose commit marker persisted inside the prefix are
+// replayed in global persist order, which for any line shared across
+// transactions is exactly sentinel dependency order, because a dependent
+// transaction can only log a line after its dependency's commit persisted.
+func expectedImage(pre *memdev.Store, prefix []traceEvent) (*memdev.Store, error) {
+	txs := make(map[txKey]*txState)
+	var redo []redoEntry
+
+	// Reassemble the record stream. A record append issues one or (on log
+	// wrap-around) two consecutive record-class events followed by the head
+	// pointer's log-meta persist, and no other events interleave — the
+	// token-holding core writes all of them synchronously — so record-class
+	// events concatenate into a stream of whole records. A decoded record is
+	// only *pending* until that head persist: the recovery manager's scan
+	// covers [tail, head), so a record whose words are durable but whose head
+	// write the crash swallowed was never appended. Trailing pending records
+	// at the end of the prefix are therefore dropped.
+	var buf []uint64
+	var pending []wal.Record
+	activate := func() {
+		for _, rec := range pending {
+			k := txKey{thread: rec.Thread, txid: rec.TxID}
+			st := txs[k]
+			if st == nil {
+				st = &txState{}
+				txs[k] = st
+			}
+			switch rec.Type {
+			case wal.RecRedo:
+				redo = append(redo, redoEntry{key: k, rec: rec})
+			case wal.RecUndo:
+				st.undo = append(st.undo, rec)
+			case wal.RecCommit:
+				st.committed = true
+			case wal.RecAbort:
+				st.aborted = true
+			}
+		}
+		pending = pending[:0]
+	}
+	for _, ev := range prefix {
+		switch {
+		case wal.IsRecordClass(ev.class):
+			buf = append(buf, ev.words...)
+			for len(buf) > 0 {
+				t, _, _ := wal.HeaderInfo(buf[0])
+				need := (&wal.Record{Type: t}).SizeWords()
+				if len(buf) < need {
+					break
+				}
+				rec, n, err := wal.DecodeRecord(buf, 0)
+				if err != nil {
+					return nil, fmt.Errorf("decoding trace record: %w", err)
+				}
+				buf = buf[:copy(buf, buf[n:])]
+				pending = append(pending, rec)
+			}
+		case ev.class == memdev.TrafficLogMeta:
+			activate()
+		}
+	}
+
+	exp := pre.Clone()
+
+	// Roll back uncommitted, unaborted undo-logged transactions, newest
+	// record first. Lock-based undo designs hold their locks until after the
+	// commit record, so concurrent uncommitted transactions touch disjoint
+	// lines and the cross-transaction order is immaterial; it is fixed
+	// (thread, then txid) for determinism.
+	var rollback []txKey
+	for k, st := range txs {
+		if !st.committed && !st.aborted && len(st.undo) > 0 {
+			rollback = append(rollback, k)
+		}
+	}
+	sort.Slice(rollback, func(i, j int) bool {
+		if rollback[i].thread != rollback[j].thread {
+			return rollback[i].thread < rollback[j].thread
+		}
+		return rollback[i].txid < rollback[j].txid
+	})
+	for _, k := range rollback {
+		undo := txs[k].undo
+		for i := len(undo) - 1; i >= 0; i-- {
+			applyRec(exp, undo[i])
+		}
+	}
+
+	// Replay every committed transaction's redo records in global persist
+	// order. Transactions that already completed in place replay
+	// idempotently; committed-but-incomplete ones are restored exactly as
+	// recovery must restore them.
+	for _, e := range redo {
+		if txs[e.key].committed {
+			applyRec(exp, e.rec)
+		}
+	}
+	return exp, nil
+}
+
+// applyRec writes a record's payload in place: line-granular records carry a
+// full line, word-granular ones (unaligned addresses) a single word — the
+// same dispatch recovery's replay uses.
+func applyRec(st *memdev.Store, rec wal.Record) {
+	if rec.LineAddr%memdev.LineBytes == 0 {
+		st.WriteLine(rec.LineAddr, rec.Data)
+	} else {
+		st.WriteWord(rec.LineAddr, rec.Data[0])
+	}
+}
+
+// diffHeap compares the workload-heap region of two images and describes the
+// first mismatching word ("" when identical). Addresses below wal.HeapBase —
+// logs, registry, lock tables, software scratch — are intentionally outside
+// the oracle: recovery truncates logs and ignores lock state, and the
+// reference image does neither.
+func diffHeap(got, want *memdev.Store) string {
+	var msg string
+	scan := func(a, b *memdev.Store, flipped bool) {
+		a.ForEachLine(func(addr uint64, data memdev.Line) {
+			if msg != "" || addr < wal.HeapBase {
+				return
+			}
+			other := b.ReadLine(addr)
+			if other == data {
+				return
+			}
+			for i := range data {
+				if data[i] != other[i] {
+					g, w := data[i], other[i]
+					if flipped {
+						g, w = w, g
+					}
+					msg = fmt.Sprintf("heap word %#x: recovered %#x, reference %#x", addr+uint64(i*8), g, w)
+					return
+				}
+			}
+		})
+	}
+	scan(got, want, false)
+	if msg == "" {
+		scan(want, got, true)
+	}
+	return msg
+}

@@ -1,0 +1,222 @@
+package crashtest
+
+import (
+	"fmt"
+
+	"dhtm/internal/config"
+	"dhtm/internal/harness"
+	"dhtm/internal/memdev"
+	"dhtm/internal/recovery"
+	"dhtm/internal/runner"
+	"dhtm/internal/txn"
+	"dhtm/internal/workloads"
+)
+
+// traceEvent is one recorded durable write of the counting pass.
+type traceEvent struct {
+	class memdev.TrafficClass
+	addr  uint64
+	words []uint64
+}
+
+// recorder captures the counting pass's persist-event trace.
+type recorder struct {
+	events []traceEvent
+}
+
+// PersistWrite implements memdev.PersistObserver.
+func (r *recorder) PersistWrite(_ uint64, ev memdev.PersistEvent) {
+	r.events = append(r.events, traceEvent{
+		class: ev.Class,
+		addr:  ev.Addr,
+		words: append([]uint64(nil), ev.Data...),
+	})
+}
+
+// injector crashes a re-run at one crash point: when durable write target is
+// about to apply it clones the store — writes 0..target-1 are in the clone,
+// write target and everything later are not, and all volatile state is absent
+// by construction — then optionally applies a torn prefix of the in-flight
+// write to the clone. Earlier events are cross-checked against the counting
+// pass's trace, so any determinism violation surfaces instead of silently
+// exploring the wrong point.
+type injector struct {
+	trace     []traceEvent
+	target    uint64
+	tornWords int
+	store     *memdev.Store
+
+	snapshot *memdev.Store
+	mismatch error
+}
+
+// PersistWrite implements memdev.PersistObserver.
+func (in *injector) PersistWrite(seq uint64, ev memdev.PersistEvent) {
+	if seq < in.target {
+		if in.mismatch == nil {
+			te := in.trace[seq]
+			if te.class != ev.Class || te.addr != ev.Addr || !wordsEqual(te.words, ev.Data) {
+				in.mismatch = fmt.Errorf("event %d diverged from the counting pass: got %s@%#x/%dw, recorded %s@%#x/%dw",
+					seq, ev.Class, ev.Addr, len(ev.Data), te.class, te.addr, len(te.words))
+			}
+		}
+		return
+	}
+	if seq > in.target || in.snapshot != nil {
+		return
+	}
+	in.snapshot = in.store.Clone()
+	for i := 0; i < in.tornWords && i < len(ev.Data); i++ {
+		in.snapshot.WriteWord(ev.Addr+uint64(i*8), ev.Data[i])
+	}
+}
+
+// wordsEqual compares an event payload against its recorded counterpart —
+// payload values are part of the determinism contract, not just shape, since
+// the reference image is built from the counting pass's values.
+func wordsEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// done reports whether the crash point has been captured; the driver stops
+// issuing new transactions once it has (the snapshot is immutable from then
+// on, so the remaining work cannot change the outcome).
+func (in *injector) done() bool { return in.snapshot != nil }
+
+// runOnce builds one fresh, fully isolated simulated machine and drives
+// TxPerCore transactions per core through workloads.RunInstrumented — the
+// same drive loop every plain run uses, so identical seeds yield identical
+// persist-event sequences. The observer returned by arm is installed after
+// workload setup, so only the measured run's durable writes are numbered.
+func (c Config) runOnce(seed int64, arm func(*txn.Env) (memdev.PersistObserver, func() bool)) (*txn.Env, workloads.Workload, error) {
+	hw := config.Default()
+	hw.NumCores = c.Cores
+	env, err := txn.NewEnv(hw)
+	if err != nil {
+		return nil, nil, err
+	}
+	rt, err := harness.NewRuntime(env, c.Design)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, err := workloads.New(c.Workload)
+	if err != nil {
+		return nil, nil, err
+	}
+	var stop func() bool
+	p := workloads.Params{Cores: c.Cores, OpsPerTx: c.OpsPerTx, Seed: seed}
+	_, err = workloads.RunInstrumented(env, rt, w, p, c.TxPerCore, true,
+		func() {
+			obs, s := arm(env)
+			env.Ctl.SetPersistObserver(obs)
+			stop = s
+		},
+		func() bool { return stop != nil && stop() })
+	if err != nil {
+		return nil, nil, fmt.Errorf("crashtest: %w", err)
+	}
+	return env, w, nil
+}
+
+// countPass measures the persist-event space: one uncrashed run with a
+// recording observer. It also sanity-checks the baseline — the final durable
+// image must recover as a no-op and satisfy the workload's invariants —
+// because a workload that is inconsistent without any crash would fail every
+// point for the wrong reason.
+func (c Config) countPass(seed int64) ([]traceEvent, error) {
+	rec := &recorder{}
+	env, w, err := c.runOnce(seed, func(*txn.Env) (memdev.PersistObserver, func() bool) {
+		return rec, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	final := env.Store().Clone()
+	if _, err := recovery.Recover(final); err != nil {
+		return nil, fmt.Errorf("crashtest: baseline recovery of the uncrashed image failed: %w", err)
+	}
+	if err := w.Verify(final); err != nil {
+		return nil, fmt.Errorf("crashtest: baseline image violates workload invariants without any crash: %w", err)
+	}
+	return rec.events, nil
+}
+
+// explorePoint re-runs the workload, crashes it at point k and judges the
+// recovered image against the three oracles.
+func (c Config) explorePoint(seed int64, trace []traceEvent, k int) PointResult {
+	res := PointResult{Point: k, Class: trace[k].class.String()}
+	if c.Torn && len(trace[k].words) >= 2 {
+		// A deterministic, seed-derived proper prefix of the in-flight words.
+		res.TornWords = 1 + int(runner.Mix64(uint64(seed)^uint64(k))%uint64(len(trace[k].words)-1))
+	}
+	inj := &injector{trace: trace, target: uint64(k), tornWords: res.TornWords}
+	_, w, err := c.runOnce(seed, func(env *txn.Env) (memdev.PersistObserver, func() bool) {
+		inj.store = env.Store()
+		return inj, inj.done
+	})
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	if inj.mismatch != nil {
+		res.Err = "determinism: " + inj.mismatch.Error()
+		return res
+	}
+	if inj.snapshot == nil {
+		res.Err = fmt.Sprintf("crash point %d was never reached (re-run produced fewer events)", k)
+		return res
+	}
+
+	pre := inj.snapshot
+	img := pre.Clone()
+	report, err := recovery.Recover(img)
+	if err != nil {
+		res.Err = "recovery: " + err.Error()
+		return res
+	}
+	res.Replayed = len(report.Replayed)
+	res.RolledBack = len(report.RolledBack)
+
+	// Oracle 1: the workload's own structural invariants.
+	if err := w.Verify(img); err != nil {
+		res.Err = "invariant oracle: " + err.Error()
+		return res
+	}
+
+	// Oracle 2: prefix consistency against the trace-derived reference image.
+	want, err := expectedImage(pre, trace[:k])
+	if err != nil {
+		res.Err = "reference image: " + err.Error()
+		return res
+	}
+	if diff := diffHeap(img, want); diff != "" {
+		res.Err = "prefix oracle: " + diff
+		return res
+	}
+
+	// Oracle 3: recovery idempotency.
+	img2 := img.Clone()
+	second, err := recovery.Recover(img2)
+	if err != nil {
+		res.Err = "idempotency oracle: second recovery failed: " + err.Error()
+		return res
+	}
+	if len(second.Replayed) != 0 || len(second.RolledBack) != 0 {
+		res.Err = fmt.Sprintf("idempotency oracle: second recovery replayed %d and rolled back %d transactions",
+			len(second.Replayed), len(second.RolledBack))
+		return res
+	}
+	if !img2.Equal(img) {
+		res.Err = "idempotency oracle: second recovery changed the image"
+		return res
+	}
+	return res
+}

@@ -373,7 +373,7 @@ func (h *Hierarchy) evictL1Victim(core int, victim *cache.Line, at uint64) {
 				// Inclusion should hold; recreate the copy defensively.
 				w := h.llc.Victim(vAddr)
 				if w.Valid() && w.Dirty {
-					h.ctl.Store().WriteLine(w.Addr, w.Data)
+					h.ctl.PersistLine(w.Addr, w.Data, memdev.TrafficData)
 				}
 				ll = h.llc.PlaceAt(w, vAddr, cache.Modified, victim.Data)
 			}
@@ -392,7 +392,7 @@ func (h *Hierarchy) evictL1Victim(core int, victim *cache.Line, at uint64) {
 	case victim.Dirty:
 		ll := h.llc.Peek(vAddr)
 		if ll == nil {
-			h.ctl.Store().WriteLine(vAddr, victim.Data)
+			h.ctl.PersistLine(vAddr, victim.Data, memdev.TrafficData)
 			return
 		}
 		ll.Data = victim.Data

@@ -181,7 +181,7 @@ func (h *Hierarchy) DrainClean() {
 	}
 	h.llc.ForEach(func(l *cache.Line) {
 		if l.Dirty {
-			h.ctl.Store().WriteLine(l.Addr, l.Data)
+			h.ctl.PersistLine(l.Addr, l.Data, memdev.TrafficData)
 			l.Dirty = false
 		}
 	})
@@ -195,7 +195,7 @@ func (h *Hierarchy) copyToLLC(l *cache.Line) *cache.Line {
 		// Re-establish inclusion without timing (only used on untimed paths).
 		victim := h.llc.Victim(l.Addr)
 		if victim.Valid() && victim.Dirty {
-			h.ctl.Store().WriteLine(victim.Addr, victim.Data)
+			h.ctl.PersistLine(victim.Addr, victim.Data, memdev.TrafficData)
 		}
 		ll = h.llc.PlaceAt(victim, l.Addr, cache.Shared, l.Data)
 	}

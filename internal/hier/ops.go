@@ -82,7 +82,7 @@ func (h *Hierarchy) CompleteL1Line(core int, addr uint64) bool {
 	if l == nil || !l.Valid() {
 		return false
 	}
-	h.ctl.Store().WriteLine(la, l.Data)
+	h.ctl.PersistLine(la, l.Data, memdev.TrafficData)
 	l.W = false
 	l.Dirty = false
 	if ll := h.llc.Peek(la); ll != nil {
@@ -102,7 +102,7 @@ func (h *Hierarchy) CompleteLLCLine(addr uint64) bool {
 	if ll == nil || !ll.Valid() {
 		return false
 	}
-	h.ctl.Store().WriteLine(la, ll.Data)
+	h.ctl.PersistLine(la, ll.Data, memdev.TrafficData)
 	ll.Dirty = false
 	ll.Sticky = false
 	ll.Owner = cache.NoOwner

@@ -116,6 +116,123 @@ func TestControllerLogAccounting(t *testing.T) {
 	}
 }
 
+// obsEvent is a copied persist event (PersistEvent.Data aliases controller
+// scratch and must not be retained).
+type obsEvent struct {
+	seq      uint64
+	class    TrafficClass
+	addr     uint64
+	data     []uint64
+	charged  bool
+	preWords []uint64 // store contents of the written words at notify time
+}
+
+// recordingObserver captures every persist event plus the store's pre-image
+// of the written words, proving the pre-apply contract.
+type recordingObserver struct {
+	store  *Store
+	events []obsEvent
+}
+
+func (r *recordingObserver) PersistWrite(seq uint64, ev PersistEvent) {
+	pre := make([]uint64, len(ev.Data))
+	for i := range pre {
+		pre[i] = r.store.ReadWord(ev.Addr + uint64(i*8))
+	}
+	r.events = append(r.events, obsEvent{
+		seq: seq, class: ev.Class, addr: ev.Addr,
+		data: append([]uint64(nil), ev.Data...), charged: ev.Charged, preWords: pre,
+	})
+}
+
+// TestPersistObserver checks the crash-point hook: every charged durable
+// write (WriteLine, WriteWord, WriteWords) and every functional persist
+// (PersistLine, PersistWord) fires exactly one observer event carrying the
+// right class, address and payload; ReserveWrite — which writes nothing —
+// fires none; events are invoked before the write reaches the store; and the
+// sequence numbers are dense from zero.
+func TestPersistObserver(t *testing.T) {
+	cfg := config.Default()
+	store := NewStore()
+	ctl := NewController(cfg, store, stats.New(1))
+	store.WriteWord(0x1000, 77) // pre-existing durable value
+	obs := &recordingObserver{store: store}
+	ctl.SetPersistObserver(obs)
+
+	ctl.WriteLine(0x1000, Line{1, 2, 3, 4, 5, 6, 7, 8}, 0, TrafficData)
+	ctl.WriteWord(0x2000, 42, 0, TrafficLogMeta)
+	ctl.WriteWords(0x3000, []uint64{9, 8, 7}, 0, TrafficLogRedo)
+	ctl.ReserveWrite(64, 0, TrafficData) // no functional write, no event
+	ctl.PersistLine(0x4000, Line{11}, TrafficData)
+	ctl.PersistWord(0x5000, 13, TrafficLogCommit)
+
+	want := []struct {
+		class   TrafficClass
+		addr    uint64
+		words   int
+		charged bool
+	}{
+		{TrafficData, 0x1000, 8, true},
+		{TrafficLogMeta, 0x2000, 1, true},
+		{TrafficLogRedo, 0x3000, 3, true},
+		{TrafficData, 0x4000, 8, false},
+		{TrafficLogCommit, 0x5000, 1, false},
+	}
+	if len(obs.events) != len(want) {
+		t.Fatalf("observed %d events, want %d: %+v", len(obs.events), len(want), obs.events)
+	}
+	for i, w := range want {
+		ev := obs.events[i]
+		if ev.seq != uint64(i) {
+			t.Errorf("event %d: seq %d, want dense numbering", i, ev.seq)
+		}
+		if ev.class != w.class || ev.addr != w.addr || len(ev.data) != w.words || ev.charged != w.charged {
+			t.Errorf("event %d = {class %v addr %#x words %d charged %v}, want {%v %#x %d %v}",
+				i, ev.class, ev.addr, len(ev.data), ev.charged, w.class, w.addr, w.words, w.charged)
+		}
+	}
+	// Pre-apply contract: the first event saw the old value 77 still in the
+	// store while carrying the new payload.
+	if obs.events[0].preWords[0] != 77 || obs.events[0].data[0] != 1 {
+		t.Errorf("observer did not run pre-apply: pre=%d payload=%d", obs.events[0].preWords[0], obs.events[0].data[0])
+	}
+	// The writes still landed functionally.
+	if store.ReadWord(0x1000) != 1 || store.ReadWord(0x3008) != 8 || store.ReadWord(0x5000) != 13 {
+		t.Errorf("functional writes missing after observed persists")
+	}
+	if got := ctl.PersistSeq(); got != uint64(len(want)) {
+		t.Errorf("PersistSeq = %d, want %d", got, len(want))
+	}
+	// Removing the observer restarts the sequence and stops delivery.
+	ctl.SetPersistObserver(nil)
+	ctl.WriteWord(0x6000, 1, 0, TrafficData)
+	if len(obs.events) != len(want) {
+		t.Errorf("events delivered after observer removal")
+	}
+}
+
+// TestTrafficClassAccounting checks every log-flavoured class accounts as log
+// traffic, so the finer crash-point classes cannot skew the paper's
+// byte counters.
+func TestTrafficClassAccounting(t *testing.T) {
+	st := stats.New(1)
+	ctl := NewController(config.Default(), NewStore(), st)
+	logClasses := []TrafficClass{TrafficLog, TrafficLogRedo, TrafficLogUndo, TrafficLogCommit,
+		TrafficLogComplete, TrafficLogAbort, TrafficLogSentinel, TrafficLogOverflow, TrafficLogMeta}
+	for _, c := range logClasses {
+		if !c.IsLog() {
+			t.Errorf("%v not accounted as log traffic", c)
+		}
+		ctl.WriteWord(0x100, 1, 0, c)
+	}
+	if TrafficData.IsLog() {
+		t.Errorf("data traffic accounted as log")
+	}
+	if st.LogBytes != uint64(8*len(logClasses)) || st.DataWriteBytes != 0 {
+		t.Errorf("accounting: log=%d data=%d, want %d/0", st.LogBytes, st.DataWriteBytes, 8*len(logClasses))
+	}
+}
+
 // TestBandwidthScaling checks Table VII's knob: scaling bandwidth shrinks the
 // per-line channel occupancy.
 func TestBandwidthScaling(t *testing.T) {

@@ -17,8 +17,8 @@ import (
 
 // TxKey identifies a transaction across all thread logs.
 type TxKey struct {
-	Thread int
-	TxID   uint64
+	Thread int    `json:"thread"`
+	TxID   uint64 `json:"txid"`
 }
 
 // String implements fmt.Stringer.
@@ -37,16 +37,17 @@ type TxImage struct {
 	DependsOn []TxKey
 }
 
-// Report summarises one recovery run.
+// Report summarises one recovery run. The JSON field names are part of the
+// tooling contract (dhtm-recover -json feeds scripts and crashtest repros).
 type Report struct {
-	LogsScanned     int
-	Transactions    int
-	Replayed        []TxKey
-	RolledBack      []TxKey
-	SkippedActive   int
-	SkippedAborted  int
-	SkippedComplete int
-	LinesRestored   int
+	LogsScanned     int     `json:"logs_scanned"`
+	Transactions    int     `json:"transactions"`
+	Replayed        []TxKey `json:"replayed"`
+	RolledBack      []TxKey `json:"rolled_back"`
+	SkippedActive   int     `json:"skipped_active"`
+	SkippedAborted  int     `json:"skipped_aborted"`
+	SkippedComplete int     `json:"skipped_complete"`
+	LinesRestored   int     `json:"lines_restored"`
 }
 
 // String renders a human-readable summary.

@@ -1,6 +1,7 @@
 package recovery
 
 import (
+	"strings"
 	"testing"
 
 	"dhtm/internal/config"
@@ -143,6 +144,78 @@ func TestSentinelOrdering(t *testing.T) {
 	}
 	if got := store.ReadLine(0x50000); got[0] != 200 {
 		t.Fatalf("dependent transaction's value lost: got %d, want 200", got[0])
+	}
+}
+
+// TestReplayWordGranular checks replay of the no-log-buffer ablation's
+// word-granular redo records: an unaligned LineAddr carries a single word in
+// Data[0], and replay must patch exactly that word, leaving the rest of the
+// line untouched.
+func TestReplayWordGranular(t *testing.T) {
+	store, reg := buildImage(t)
+	store.WriteLine(0x70000, memdev.Line{10, 11, 12, 13, 14, 15, 16, 17})
+	log := reg.Log(0)
+	txid := log.BeginTx()
+	appendAll(t, log,
+		// Words 3 and 5 of the line, logged store-by-store.
+		&wal.Record{Type: wal.RecRedo, TxID: txid, LineAddr: 0x70018, Data: memdev.Line{333}},
+		&wal.Record{Type: wal.RecRedo, TxID: txid, LineAddr: 0x70028, Data: memdev.Line{555}},
+		&wal.Record{Type: wal.RecCommit, TxID: txid},
+	)
+	rep, err := Recover(store)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if len(rep.Replayed) != 1 || rep.LinesRestored != 2 {
+		t.Fatalf("replay bookkeeping wrong: %+v", rep)
+	}
+	if got, want := store.ReadLine(0x70000), (memdev.Line{10, 11, 12, 333, 14, 555, 16, 17}); got != want {
+		t.Fatalf("word-granular replay produced %v, want %v", got, want)
+	}
+}
+
+// TestUndoRollbackWordGranular checks the same dispatch on the undo path: an
+// unaligned undo record restores one word only.
+func TestUndoRollbackWordGranular(t *testing.T) {
+	store, reg := buildImage(t)
+	store.WriteLine(0x78000, memdev.Line{1, 2, 3, 4})
+	log := reg.Log(1)
+	txid := log.BeginTx()
+	appendAll(t, log, &wal.Record{Type: wal.RecUndo, TxID: txid, LineAddr: 0x78008, Data: memdev.Line{99}})
+	if _, err := Recover(store); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if got, want := store.ReadLine(0x78000), (memdev.Line{1, 99, 3, 4}); got != want {
+		t.Fatalf("word-granular rollback produced %v, want %v", got, want)
+	}
+}
+
+// TestSentinelCycleError checks the error return for a sentinel dependency
+// cycle between replay candidates: recovery must refuse (with a descriptive
+// error) rather than replay in an arbitrary order, because such a log can
+// only come from corruption — the conflict-window protocol orders
+// dependencies by commit time, which cannot cycle.
+func TestSentinelCycleError(t *testing.T) {
+	store, reg := buildImage(t)
+	logA, logB := reg.Log(0), reg.Log(1)
+	txA := logA.BeginTx()
+	txB := logB.BeginTx()
+	appendAll(t, logA,
+		&wal.Record{Type: wal.RecSentinel, TxID: txA, DepThread: 1, DepTxID: txB},
+		&wal.Record{Type: wal.RecRedo, TxID: txA, LineAddr: 0x80000, Data: memdev.Line{1}},
+		&wal.Record{Type: wal.RecCommit, TxID: txA},
+	)
+	appendAll(t, logB,
+		&wal.Record{Type: wal.RecSentinel, TxID: txB, DepThread: 0, DepTxID: txA},
+		&wal.Record{Type: wal.RecRedo, TxID: txB, LineAddr: 0x80040, Data: memdev.Line{2}},
+		&wal.Record{Type: wal.RecCommit, TxID: txB},
+	)
+	_, err := Recover(store)
+	if err == nil {
+		t.Fatalf("expected a dependency-cycle error")
+	}
+	if !strings.Contains(err.Error(), "dependency cycle") {
+		t.Fatalf("unexpected error for a sentinel cycle: %v", err)
 	}
 }
 

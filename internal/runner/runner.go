@@ -121,17 +121,23 @@ func DeriveSeed(base int64, c Cell) int64 {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d|", base)
 	h.Write([]byte(c.Key()))
-	// splitmix64 finalizer spreads the FNV bits; keep the seed positive so it
-	// never collides with the zero "derive me" sentinel.
-	z := h.Sum64()
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
+	// The splitmix64 finalizer spreads the FNV bits; keep the seed positive
+	// so it never collides with the zero "derive me" sentinel.
+	z := Mix64(h.Sum64())
 	s := int64(z &^ (1 << 63))
 	if s == 0 {
 		s = DefaultSeed
 	}
 	return s
+}
+
+// Mix64 is the splitmix64 finalizer: a cheap, high-quality bit mixer for
+// deterministic, content-derived pseudo-randomness (seed derivation here,
+// point sampling and torn-prefix lengths in the crash-point explorer).
+func Mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // Plan is a declarative experiment: a named grid of independent cells.
@@ -266,6 +272,39 @@ func (rs *ResultSet) Elapsed() time.Duration {
 	return d
 }
 
+// ForEach runs fn(i) for every i in [0, n) on a pool of workers goroutines
+// (<= 0 means GOMAXPROCS) and returns when all calls have finished. It is the
+// raw fan-out primitive under Run; other sweep-shaped subsystems (the
+// crash-point explorer) reuse it to scale across host cores. fn must be safe
+// to call concurrently for distinct indices.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
 // Run executes every cell of the plan through exec on a pool of
 // opts.Parallel workers and returns the results in plan order. Each result's
 // Stats are snapshotted, so they stay valid and independent after the cell's
@@ -275,14 +314,6 @@ func Run(plan Plan, exec ExecFunc, opts Options) (*ResultSet, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
-	workers := opts.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(plan.Cells) {
-		workers = len(plan.Cells)
-	}
-
 	rs := &ResultSet{
 		Plan:    plan,
 		Results: make([]Result, len(plan.Cells)),
@@ -291,45 +322,29 @@ func Run(plan Plan, exec ExecFunc, opts Options) (*ResultSet, error) {
 	for i, c := range plan.Cells {
 		rs.byID[c.ID] = i
 	}
-	if len(plan.Cells) == 0 {
-		return rs, nil
-	}
 
 	var (
 		mu   sync.Mutex // serializes Progress and the done counter
 		done int
 	)
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				cell := plan.Cells[i]
-				if cell.Seed == 0 {
-					cell.Seed = DeriveSeed(opts.Seed, cell)
-				}
-				start := time.Now()
-				run, err := exec(cell)
-				if err == nil && run.Stats != nil {
-					run.Stats = run.Stats.Snapshot()
-				}
-				res := Result{Cell: cell, Run: run, Err: err, Elapsed: time.Since(start)}
-				rs.Results[i] = res
-				if opts.Progress != nil {
-					mu.Lock()
-					done++
-					opts.Progress(ProgressEvent{Done: done, Total: len(plan.Cells), Result: res})
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := range plan.Cells {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+	ForEach(len(plan.Cells), opts.Parallel, func(i int) {
+		cell := plan.Cells[i]
+		if cell.Seed == 0 {
+			cell.Seed = DeriveSeed(opts.Seed, cell)
+		}
+		start := time.Now()
+		run, err := exec(cell)
+		if err == nil && run.Stats != nil {
+			run.Stats = run.Stats.Snapshot()
+		}
+		res := Result{Cell: cell, Run: run, Err: err, Elapsed: time.Since(start)}
+		rs.Results[i] = res
+		if opts.Progress != nil {
+			mu.Lock()
+			done++
+			opts.Progress(ProgressEvent{Done: done, Total: len(plan.Cells), Result: res})
+			mu.Unlock()
+		}
+	})
 	return rs, nil
 }

@@ -232,3 +232,21 @@ func TestMergedStats(t *testing.T) {
 		t.Fatalf("merged commits = %d, want 8 (two successful cells)", got)
 	}
 }
+
+// TestForEachCoversEveryIndexConcurrently checks the raw fan-out primitive:
+// every index runs exactly once, at any worker-pool size (including larger
+// than n and the GOMAXPROCS default), and an empty range is a no-op.
+func TestForEachCoversEveryIndexConcurrently(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		var hits [37]int32
+		ForEach(len(hits), workers, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, n := range hits {
+			if n != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, n)
+			}
+		}
+	}
+	ForEach(0, 4, func(int) { t.Fatalf("fn called for an empty range") })
+}

@@ -54,10 +54,10 @@ func (o *OverflowList) Append(lineAddr uint64, at uint64) (uint64, error) {
 	if o.count >= o.Capacity {
 		return at, ErrOverflowListFull
 	}
-	done := o.ctl.WriteWord(o.Base+uint64(o.count*8), lineAddr, at, memdev.TrafficLog)
+	done := o.ctl.WriteWord(o.Base+uint64(o.count*8), lineAddr, at, memdev.TrafficLogOverflow)
 	o.count++
 	// Persist the count (one metadata word).
-	d := o.ctl.WriteWord(o.CountAddr, uint64(o.count), at, memdev.TrafficLog)
+	d := o.ctl.WriteWord(o.CountAddr, uint64(o.count), at, memdev.TrafficLogMeta)
 	if d > done {
 		done = d
 	}
@@ -77,10 +77,11 @@ func (o *OverflowList) Entries(store *memdev.Store) []uint64 {
 	return out
 }
 
-// Clear empties the list (after commit-complete or abort-complete).
+// Clear empties the list (after commit-complete or abort-complete). The count
+// reset is a durable write, so it goes through the persist-observer path.
 func (o *OverflowList) Clear() {
 	o.count = 0
-	o.ctl.Store().WriteWord(o.CountAddr, 0)
+	o.ctl.PersistWord(o.CountAddr, 0, memdev.TrafficLogMeta)
 }
 
 // Registry is the OS bookkeeping of every thread's durable log and overflow
@@ -177,6 +178,6 @@ func (r *Registry) GrowLog(t, factor int) bool {
 		return false
 	}
 	entry := RegistryTableAddr + uint64((registryHeaderWords+t*registryEntryWords)*8)
-	r.ctl.Store().WriteWord(entry+1*8, uint64(r.logs[t].SizeWords))
+	r.ctl.PersistWord(entry+1*8, uint64(r.logs[t].SizeWords), memdev.TrafficLogMeta)
 	return true
 }

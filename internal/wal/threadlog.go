@@ -85,14 +85,15 @@ func attachThreadLog(store *memdev.Store, thread int, base uint64, sizeWords int
 }
 
 // persistMeta writes the head/tail offsets to persistent memory (functional
-// only; the append that triggered it already paid for the bandwidth).
+// only; the append that triggered it already paid for the bandwidth). Each
+// word is a durable write — a log truncation the recovery manager will see —
+// so both go through the controller's persist-observer path.
 func (l *ThreadLog) persistMeta() {
 	if l.ctl == nil {
 		return
 	}
-	st := l.ctl.Store()
-	st.WriteWord(l.MetaAddr, uint64(l.head))
-	st.WriteWord(l.MetaAddr+8, uint64(l.tail))
+	l.ctl.PersistWord(l.MetaAddr, uint64(l.head), memdev.TrafficLogMeta)
+	l.ctl.PersistWord(l.MetaAddr+8, uint64(l.tail), memdev.TrafficLogMeta)
 }
 
 // BeginTx allocates a new transaction ID and remembers where its records
@@ -170,7 +171,7 @@ func (l *ThreadLog) Append(rec *Record, at uint64) (uint64, error) {
 		if off+len(chunk) > l.SizeWords {
 			chunk = remaining[:l.SizeWords-off]
 		}
-		d := l.ctl.WriteWords(l.Base+uint64(off*8), chunk, at, memdev.TrafficLog)
+		d := l.ctl.WriteWords(l.Base+uint64(off*8), chunk, at, rec.Type.TrafficClass())
 		if d > done {
 			done = d
 		}
@@ -179,7 +180,7 @@ func (l *ThreadLog) Append(rec *Record, at uint64) (uint64, error) {
 	}
 	l.head = off
 	// One extra metadata word accounts for persisting the head pointer.
-	d := l.ctl.WriteWord(l.MetaAddr, uint64(l.head), at, memdev.TrafficLog)
+	d := l.ctl.WriteWord(l.MetaAddr, uint64(l.head), at, memdev.TrafficLogMeta)
 	if d > done {
 		done = d
 	}

@@ -126,6 +126,51 @@ func (r *Record) Encode() []uint64 {
 // SizeWords returns the encoded size of the record in 8-byte words.
 func (r *Record) SizeWords() int { return 1 + payloadWords(r.Type) }
 
+// TrafficClass returns the memory-traffic class a record of type t is charged
+// (and observed) under, so the persist observer can tell a redo append from a
+// commit marker from a sentinel.
+func (t RecordType) TrafficClass() memdev.TrafficClass {
+	switch t {
+	case RecRedo:
+		return memdev.TrafficLogRedo
+	case RecUndo:
+		return memdev.TrafficLogUndo
+	case RecCommit:
+		return memdev.TrafficLogCommit
+	case RecComplete:
+		return memdev.TrafficLogComplete
+	case RecAbort:
+		return memdev.TrafficLogAbort
+	case RecSentinel:
+		return memdev.TrafficLogSentinel
+	default:
+		return memdev.TrafficLog
+	}
+}
+
+// IsRecordClass reports whether a persist-event traffic class carries encoded
+// log-record words (the classes RecordType.TrafficClass emits). Log-analysis
+// tooling uses it to reassemble the record stream from persist events.
+func IsRecordClass(c memdev.TrafficClass) bool {
+	switch c {
+	case memdev.TrafficLogRedo, memdev.TrafficLogUndo, memdev.TrafficLogCommit,
+		memdev.TrafficLogComplete, memdev.TrafficLogAbort, memdev.TrafficLogSentinel:
+		return true
+	default:
+		return false
+	}
+}
+
+// HeaderInfo unpacks a record header word into its type, thread and
+// transaction ID (exported for log-analysis tooling such as the crash-point
+// explorer, which decodes records from observed persist events).
+func HeaderInfo(h uint64) (RecordType, int, uint64) { return unpackHeader(h) }
+
+// DecodeRecord decodes one record starting at word idx of a raw word slice,
+// returning the record and the number of words consumed (HeaderInfo plus
+// SizeWords tell a caller whether enough words have accumulated).
+func DecodeRecord(words []uint64, idx int) (Record, int, error) { return decode(words, idx) }
+
 // decode reads one record starting at the given word index within a raw word
 // slice, returning the record and the number of words consumed. A zero header
 // decodes as RecInvalid with one word consumed.

@@ -39,6 +39,17 @@ func (r RunResult) Throughput() float64 {
 // without draining completion work or write-backs — the state crash-recovery
 // tests want to exercise.
 func Run(env *txn.Env, rt txn.Runtime, w Workload, p Params, txPerCore int, finish bool) (RunResult, error) {
+	return RunInstrumented(env, rt, w, p, txPerCore, finish, nil, nil)
+}
+
+// RunInstrumented is Run with instrumentation hooks: arm runs after workload
+// setup and before the measured run begins (the crash-point explorer installs
+// its persist observer there, so setup writes are not numbered), and stop is
+// polled before each transaction so an instrument that has captured what it
+// needs can end the run early. Either may be nil. Sharing this drive loop
+// with Run is what guarantees instrumented runs replay the exact event
+// sequence of plain runs at equal seeds.
+func RunInstrumented(env *txn.Env, rt txn.Runtime, w Workload, p Params, txPerCore int, finish bool, arm func(), stop func() bool) (RunResult, error) {
 	p = p.Defaults()
 	if p.Cores != env.Cfg.NumCores {
 		p.Cores = env.Cfg.NumCores
@@ -47,11 +58,17 @@ func Run(env *txn.Env, rt txn.Runtime, w Workload, p Params, txPerCore int, fini
 	if err := w.Setup(heap, p); err != nil {
 		return RunResult{}, fmt.Errorf("workloads: setting up %s: %w", w.Name(), err)
 	}
+	if arm != nil {
+		arm()
+	}
 
 	eng := engine.New(env.Cfg.NumCores)
 	eng.Run(func(core int, c *engine.Clock) {
 		rng := rand.New(rand.NewSource(p.Seed + int64(core)*7919))
 		for i := 0; i < txPerCore; i++ {
+			if stop != nil && stop() {
+				break
+			}
 			t := w.Next(core, rng)
 			rt.Run(core, c, t)
 			// Non-transactional work between transactions (building the next
