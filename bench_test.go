@@ -7,6 +7,7 @@
 package dhtm_test
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"strconv"
@@ -39,7 +40,7 @@ func runExperiment(b *testing.B, id string) *harness.Table {
 	}
 	var table *harness.Table
 	for i := 0; i < b.N; i++ {
-		t, err := exp.Run(benchOptions())
+		t, err := exp.Run(context.Background(), benchOptions())
 		if err != nil {
 			b.Fatalf("%s: %v", id, err)
 		}

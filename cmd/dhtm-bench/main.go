@@ -16,6 +16,7 @@
 //	dhtm-bench -csv            # CSV rows on stdout
 //	dhtm-bench -progress       # per-cell progress on stderr
 //	dhtm-bench -list           # list experiments
+//	dhtm-bench -store results/ # persist cell results; warm re-runs simulate nothing
 //	dhtm-bench -cpuprofile cpu.out -memprofile mem.out   # profile the run
 //
 // A failing experiment no longer aborts the run: every selected experiment
@@ -24,17 +25,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"dhtm/internal/harness"
+	"dhtm/internal/resultstore"
 	"dhtm/internal/runner"
 )
 
@@ -50,10 +55,11 @@ type experimentResult struct {
 
 // document is the top-level -json result document.
 type document struct {
-	Seed        int64              `json:"seed"`
-	Parallel    int                `json:"parallel"`
-	Quick       bool               `json:"quick"`
-	Experiments []experimentResult `json:"experiments"`
+	Seed        int64                `json:"seed"`
+	Parallel    int                  `json:"parallel"`
+	Quick       bool                 `json:"quick"`
+	Experiments []experimentResult   `json:"experiments"`
+	Store       *resultstore.Metrics `json:"store,omitempty"`
 }
 
 func main() { os.Exit(run()) }
@@ -71,9 +77,15 @@ func run() int {
 	csvOut := flag.Bool("csv", false, "emit CSV rows on stdout instead of aligned tables")
 	progress := flag.Bool("progress", false, "report per-cell completion on stderr")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	storeDir := flag.String("store", "", "read/write cell results through a content-addressed result store rooted at this directory (makes interrupted campaigns resumable)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	flag.Parse()
+
+	// Ctrl-C cancels the sweep cleanly: in-flight cells finish (and, with
+	// -store, persist), skipped cells report runner.ErrCancelled.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -120,9 +132,21 @@ func run() int {
 		Quick: *quick, TxPerCore: *tx, Cores: *cores, Out: os.Stdout,
 		Parallel: *parallel, Seed: *seed,
 	}
+	var store *resultstore.Store
+	if *storeDir != "" {
+		var err error
+		if store, err = resultstore.Open(*storeDir, resultstore.Options{}); err != nil {
+			fmt.Fprintf(os.Stderr, "dhtm-bench: %v\n", err)
+			return 1
+		}
+		opts.Store = store
+	}
 	if *progress {
 		opts.Progress = func(ev runner.ProgressEvent) {
 			status := "ok"
+			if ev.Result.Cached {
+				status = "cached"
+			}
 			if ev.Result.Err != nil {
 				status = "FAILED: " + ev.Result.Err.Error()
 			}
@@ -137,13 +161,24 @@ func run() int {
 		selected = harness.Experiments()
 	} else {
 		for _, id := range strings.Split(*exp, ",") {
-			e, ok := harness.Find(strings.TrimSpace(id))
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			e, ok := harness.Find(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "dhtm-bench: unknown experiment %q (use -list)\n", id)
+				fmt.Fprintf(os.Stderr, "dhtm-bench: unknown experiment %q (valid: all, %s)\n",
+					id, strings.Join(harness.ExperimentIDs(), ", "))
 				return 2
 			}
 			selected = append(selected, e)
 		}
+	}
+	if len(selected) == 0 {
+		// e.g. -exp "" — reject loudly instead of silently running nothing.
+		fmt.Fprintf(os.Stderr, "dhtm-bench: -exp selects no experiments (valid: all, %s)\n",
+			strings.Join(harness.ExperimentIDs(), ", "))
+		return 2
 	}
 
 	doc := document{Seed: *seed, Parallel: *parallel, Quick: *quick}
@@ -151,7 +186,7 @@ func run() int {
 	for _, e := range selected {
 		start := time.Now()
 		er := experimentResult{ID: e.ID, Title: e.Title}
-		rs, err := e.RunGrid(opts)
+		rs, err := e.RunGrid(ctx, opts)
 		var table *harness.Table
 		if err == nil {
 			// Cells (with their derived seeds) are reported even when some
@@ -184,11 +219,21 @@ func run() int {
 		doc.Experiments = append(doc.Experiments, er)
 	}
 
+	if store != nil {
+		m := store.Metrics()
+		doc.Store = &m
+		fmt.Fprintf(os.Stderr, "dhtm-bench: store %s: %d hits (%d mem, %d disk), %d misses, %d simulated, %d shared, %d written, %d corrupt\n",
+			store.Dir(), m.Hits(), m.MemHits, m.DiskHits, m.Misses, m.Computes, m.Shared, m.Writes, m.Corrupt)
+	}
 	if *jsonOut {
 		if err := writeJSON(os.Stdout, doc); err != nil {
 			fmt.Fprintf(os.Stderr, "dhtm-bench: encoding JSON: %v\n", err)
 			return 1
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "dhtm-bench: interrupted; partial results above, re-run with the same -store to resume")
+		return 1
 	}
 	if len(failures) > 0 {
 		fmt.Fprintf(os.Stderr, "dhtm-bench: %d of %d experiments failed:\n", len(failures), len(selected))

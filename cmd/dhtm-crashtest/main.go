@@ -15,12 +15,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"dhtm/internal/crashtest"
@@ -73,6 +77,10 @@ func main() {
 		sel = crashtest.Selection{Mode: "point", Point: *point}
 	}
 
+	// Ctrl-C cancels the exploration after the in-flight points finish.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var reports []*crashtest.Report
 	failed := false
 	for _, d := range designs {
@@ -89,7 +97,10 @@ func main() {
 					}
 				}
 			}
-			rep, err := crashtest.Explore(cfg)
+			rep, err := crashtest.Explore(ctx, cfg)
+			if errors.Is(err, context.Canceled) {
+				fail("%s/%s: interrupted", d, w)
+			}
 			if err != nil {
 				fail("%s/%s: %v", d, w, err)
 			}

@@ -1,0 +1,91 @@
+// Command dhtm-serve runs the campaign service: an HTTP API that accepts
+// experiment, sweep and crash-test campaigns as JSON jobs, executes them on
+// a bounded worker pool, streams per-cell progress, and serves every
+// previously computed cell from the content-addressed result store without
+// simulating it again.
+//
+// Usage:
+//
+//	dhtm-serve -addr :8080 -store results/
+//
+// Submit a campaign, watch it, fetch its tables:
+//
+//	curl -s localhost:8080/api/v1/jobs -d '{"kind":"experiment","experiments":["table4"],"quick":true}'
+//	curl -s localhost:8080/api/v1/jobs/job-000001            # poll
+//	curl -N localhost:8080/api/v1/jobs/job-000001/events     # SSE stream
+//	curl -s localhost:8080/api/v1/jobs/job-000001/tables     # rendered tables
+//	curl -s localhost:8080/api/v1/store                      # cache hit counters
+//
+// Re-submitting the same campaign answers every cell from the store — zero
+// cells simulated (watch "cached" climb in /api/v1/jobs/{id} and the store
+// hit counters in /api/v1/store).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dhtm/internal/resultstore"
+	"dhtm/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	storeDir := flag.String("store", "", "result-store directory (empty = in-memory only; results do not survive a restart)")
+	workers := flag.Int("workers", 2, "jobs executing concurrently; queued jobs wait in submission order")
+	parallel := flag.Int("parallel", 0, "per-job cell worker-pool cap (0 = GOMAXPROCS)")
+	memEntries := flag.Int("mem", 0, "in-memory LRU capacity in results (0 = default 4096, negative = disabled)")
+	flag.Parse()
+
+	store, err := resultstore.Open(*storeDir, resultstore.Options{MemEntries: *memEntries})
+	if err != nil {
+		fail("%v", err)
+	}
+	srv, err := serve.New(serve.Config{Store: store, Workers: *workers, CellParallel: *parallel})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	where := *storeDir
+	if where == "" {
+		where = "(memory only)"
+	}
+	fmt.Fprintf(os.Stderr, "dhtm-serve: listening on %s, store %s, %d job workers\n", *addr, where, *workers)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail("%v", err)
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "dhtm-serve: shutting down")
+		// Cancel jobs first: that terminates them, which closes their SSE
+		// streams (with a done frame), which lets Shutdown actually drain
+		// the handlers instead of stalling its full timeout on them.
+		srv.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+		m := store.Metrics()
+		fmt.Fprintf(os.Stderr, "dhtm-serve: store served %d hits (%d mem, %d disk), simulated %d cells, shared %d in-flight\n",
+			m.Hits(), m.MemHits, m.DiskHits, m.Computes, m.Shared)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dhtm-serve: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -16,12 +16,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"dhtm/internal/config"
 	"dhtm/internal/harness"
@@ -112,7 +115,10 @@ func main() {
 			})
 		}
 	}
-	rs, err := runner.Run(plan, harness.Execute, runner.Options{Parallel: *parallel, Seed: *seed})
+	// Ctrl-C cancels the sweep; cells not yet started report ErrCancelled.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rs, err := runner.Run(ctx, plan, harness.Execute, runner.Options{Parallel: *parallel, Seed: *seed})
 	if err != nil {
 		fail("%v", err)
 	}

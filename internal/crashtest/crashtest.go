@@ -30,6 +30,7 @@
 package crashtest
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -190,7 +191,10 @@ type Report struct {
 // Explore measures the configuration's persist-event space and crash-tests
 // the selected points, returning the aggregated report. Oracle violations are
 // recorded per point, not returned as an error; use Torture to fail on them.
-func Explore(cfg Config) (*Report, error) {
+// Cancelling ctx stops the exploration after the in-flight points finish and
+// returns the context's error instead of a partial (and therefore
+// misleading) report.
+func Explore(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -210,7 +214,7 @@ func Explore(cfg Config) (*Report, error) {
 	results := make([]PointResult, len(points))
 	var mu sync.Mutex
 	done := 0
-	runner.ForEach(len(points), cfg.Parallel, func(i int) {
+	runner.ForEach(ctx, len(points), cfg.Parallel, func(i int) {
 		results[i] = cfg.explorePoint(runSeed, trace, points[i])
 		if cfg.Progress != nil {
 			mu.Lock()
@@ -219,6 +223,9 @@ func Explore(cfg Config) (*Report, error) {
 			mu.Unlock()
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("crashtest: exploration cancelled: %w", err)
+	}
 
 	rep := &Report{
 		Design: cfg.Design, Workload: cfg.Workload, Cores: cfg.Cores,
@@ -253,8 +260,8 @@ func Explore(cfg Config) (*Report, error) {
 
 // Torture is the sweep-test entry point: it explores the configured space and
 // returns an error (alongside the report) if any point violated an oracle.
-func Torture(cfg Config) (*Report, error) {
-	rep, err := Explore(cfg)
+func Torture(ctx context.Context, cfg Config) (*Report, error) {
+	rep, err := Explore(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

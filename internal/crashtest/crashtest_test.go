@@ -1,6 +1,7 @@
 package crashtest
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -52,7 +53,7 @@ func TestPickPoints(t *testing.T) {
 // TestUnsupportedDesign checks the explorer refuses designs whose durability
 // recovery cannot replay (SO's software log truncates before data persists).
 func TestUnsupportedDesign(t *testing.T) {
-	_, err := Explore(Config{Design: "SO", Workload: "queue"})
+	_, err := Explore(context.Background(), Config{Design: "SO", Workload: "queue"})
 	if err == nil || !strings.Contains(err.Error(), "not supported") {
 		t.Fatalf("SO accepted: %v", err)
 	}
@@ -61,7 +62,7 @@ func TestUnsupportedDesign(t *testing.T) {
 // TestExploreSmall runs a tiny exhaustive exploration end to end and checks
 // the report's bookkeeping is coherent.
 func TestExploreSmall(t *testing.T) {
-	rep, err := Explore(Config{
+	rep, err := Explore(context.Background(), Config{
 		Design: "DHTM", Workload: "queue", Cores: 2, TxPerCore: 1, OpsPerTx: 4,
 	})
 	if err != nil {

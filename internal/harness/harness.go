@@ -9,6 +9,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -17,6 +18,7 @@ import (
 	"dhtm/internal/baselines"
 	"dhtm/internal/config"
 	"dhtm/internal/core"
+	"dhtm/internal/resultstore"
 	"dhtm/internal/runner"
 	"dhtm/internal/txn"
 	"dhtm/internal/workloads"
@@ -111,6 +113,10 @@ type Options struct {
 	Seed int64
 	// Progress, when non-nil, receives one event per completed cell.
 	Progress func(runner.ProgressEvent)
+	// Store, when non-nil, is attached to every experiment plan so cells
+	// read through the content-addressed result store instead of
+	// re-simulating (see runner.Plan.Store).
+	Store *resultstore.Store
 }
 
 // runnerOptions translates experiment options into sweep options.
@@ -228,9 +234,10 @@ type Experiment struct {
 
 // Run executes the experiment's grid (in parallel per o.Parallel) and
 // reduces it to a table. Cell failures surface as one joined error after
-// every cell has had its chance to run.
-func (e Experiment) Run(o Options) (*Table, error) {
-	rs, err := e.RunGrid(o)
+// every cell has had its chance to run. Cancelling ctx surfaces as
+// ErrCancelled cell failures.
+func (e Experiment) Run(ctx context.Context, o Options) (*Table, error) {
+	rs, err := e.RunGrid(ctx, o)
 	if err != nil {
 		return nil, err
 	}
@@ -246,8 +253,10 @@ func (e Experiment) Run(o Options) (*Table, error) {
 // stay in their Results entries and in rs.Err(), so callers can still report
 // the successful cells and the derived seeds of the failed ones. The
 // returned error covers plan-level problems only.
-func (e Experiment) RunGrid(o Options) (*runner.ResultSet, error) {
-	rs, err := runner.Run(e.Plan(o), Execute, o.runnerOptions())
+func (e Experiment) RunGrid(ctx context.Context, o Options) (*runner.ResultSet, error) {
+	plan := e.Plan(o)
+	plan.Store = o.Store
+	rs, err := runner.Run(ctx, plan, Execute, o.runnerOptions())
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", e.ID, err)
 	}
@@ -266,6 +275,17 @@ func Experiments() []Experiment {
 		{ID: "durability", Title: "The cost of atomic durability (Section VI.D)", Plan: planDurability, Reduce: reduceDurability},
 		{ID: "ablation", Title: "DHTM design ablations (overflow, log buffer, conflict policy)", Plan: planAblations, Reduce: reduceAblations},
 	}
+}
+
+// ExperimentIDs lists every experiment ID in paper order (the valid values
+// of dhtm-bench -exp and the serve API's experiment selection).
+func ExperimentIDs() []string {
+	exps := Experiments()
+	ids := make([]string, len(exps))
+	for i, e := range exps {
+		ids[i] = e.ID
+	}
+	return ids
 }
 
 // Find looks an experiment up by ID.

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -72,7 +73,7 @@ func TestParallelSweepIsDeterministic(t *testing.T) {
 		t.Fatal("fig5 not registered")
 	}
 	render := func(parallel int) string {
-		tbl, err := e.Run(Options{Quick: true, Parallel: parallel, Seed: 7})
+		tbl, err := e.Run(context.Background(), Options{Quick: true, Parallel: parallel, Seed: 7})
 		if err != nil {
 			t.Fatalf("parallel=%d: %v", parallel, err)
 		}

@@ -10,6 +10,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -20,9 +21,15 @@ import (
 	"time"
 
 	"dhtm/internal/config"
+	"dhtm/internal/resultstore"
 	"dhtm/internal/stats"
 	"dhtm/internal/workloads"
 )
+
+// ErrCancelled marks cells whose sweep was cancelled before they could run.
+// It wraps context.Canceled, so both errors.Is(err, ErrCancelled) and
+// errors.Is(err, context.Canceled) hold.
+var ErrCancelled = fmt.Errorf("runner: cell cancelled: %w", context.Canceled)
 
 // DefaultSeed is the base seed used when Options.Seed is zero. It matches the
 // historical workloads.Params default so unscripted runs stay comparable.
@@ -146,6 +153,12 @@ type Plan struct {
 	Name string `json:"name"`
 	// Cells are the grid points. Order fixes result order, nothing else.
 	Cells []Cell `json:"cells"`
+	// Store, when non-nil, turns execution into a read-through/write-through
+	// layer over the content-addressed result store: a cell whose
+	// (Key(), seed) is already stored is answered without simulating, a
+	// computed cell is persisted, and concurrent requests for the same cell
+	// (within or across plans sharing the store) simulate it exactly once.
+	Store *resultstore.Store `json:"-"`
 }
 
 // Add appends a cell and returns its ID, for fluent plan construction.
@@ -182,8 +195,13 @@ type Result struct {
 	// Run holds the simulation outcome; its Stats are a private snapshot.
 	Run workloads.RunResult `json:"-"`
 	// Err is the cell's failure, nil on success. Failures never abort the
-	// sweep; sibling cells still run and report.
+	// sweep; sibling cells still run and report. Cells skipped because the
+	// sweep's context was cancelled carry ErrCancelled.
 	Err error `json:"-"`
+	// Cached reports that the result came from the plan's store — a memory
+	// or disk hit, or a concurrent sweep's in-flight compute — rather than
+	// a simulation this sweep ran itself.
+	Cached bool `json:"cached,omitempty"`
 	// Elapsed is host wall-clock time spent simulating the cell.
 	Elapsed time.Duration `json:"elapsed_ns"`
 }
@@ -277,9 +295,15 @@ func (rs *ResultSet) Elapsed() time.Duration {
 // raw fan-out primitive under Run; other sweep-shaped subsystems (the
 // crash-point explorer) reuse it to scale across host cores. fn must be safe
 // to call concurrently for distinct indices.
-func ForEach(n, workers int, fn func(i int)) {
+//
+// Cancelling ctx stops the dispatch of further indices; calls already in
+// flight run to completion (a simulation cell cannot be interrupted
+// mid-run), so ForEach still returns only when every started call has
+// finished. It reports the number of indices dispatched — n unless the
+// context was cancelled.
+func ForEach(ctx context.Context, n, workers int, fn func(i int)) int {
 	if n <= 0 {
-		return
+		return 0
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -298,11 +322,19 @@ func ForEach(n, workers int, fn func(i int)) {
 			}
 		}()
 	}
+	dispatched := 0
+feed:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+			dispatched++
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	return dispatched
 }
 
 // Run executes every cell of the plan through exec on a pool of
@@ -310,7 +342,15 @@ func ForEach(n, workers int, fn func(i int)) {
 // Stats are snapshotted, so they stay valid and independent after the cell's
 // simulated system is garbage. A cell failure is recorded in its Result and
 // the sweep continues.
-func Run(plan Plan, exec ExecFunc, opts Options) (*ResultSet, error) {
+//
+// When plan.Store is set, execution reads through it: stored cells are
+// answered without simulating (Result.Cached), computed cells are persisted,
+// and concurrent requests for the same cell simulate it once.
+//
+// Cancelling ctx stops the sweep cleanly: in-flight cells finish and report
+// normally, never-started cells report ErrCancelled, and Run still returns
+// the full plan-ordered ResultSet so partial progress is not lost.
+func Run(ctx context.Context, plan Plan, exec ExecFunc, opts Options) (*ResultSet, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
@@ -327,17 +367,18 @@ func Run(plan Plan, exec ExecFunc, opts Options) (*ResultSet, error) {
 		mu   sync.Mutex // serializes Progress and the done counter
 		done int
 	)
-	ForEach(len(plan.Cells), opts.Parallel, func(i int) {
-		cell := plan.Cells[i]
-		if cell.Seed == 0 {
-			cell.Seed = DeriveSeed(opts.Seed, cell)
-		}
+	dispatched := ForEach(ctx, len(plan.Cells), opts.Parallel, func(i int) {
+		cell := seeded(plan.Cells[i], opts.Seed)
 		start := time.Now()
-		run, err := exec(cell)
-		if err == nil && run.Stats != nil {
-			run.Stats = run.Stats.Snapshot()
+		var res Result
+		if err := ctx.Err(); err != nil {
+			// Dispatched before the cancellation won the race: skip the
+			// simulation but keep the per-cell error reporting uniform.
+			res = Result{Cell: cell, Err: ErrCancelled}
+		} else {
+			run, cached, err := execute(cell, plan.Store, exec)
+			res = Result{Cell: cell, Run: run, Err: err, Cached: cached, Elapsed: time.Since(start)}
 		}
-		res := Result{Cell: cell, Run: run, Err: err, Elapsed: time.Since(start)}
 		rs.Results[i] = res
 		if opts.Progress != nil {
 			mu.Lock()
@@ -346,5 +387,34 @@ func Run(plan Plan, exec ExecFunc, opts Options) (*ResultSet, error) {
 			mu.Unlock()
 		}
 	})
+	// Dispatch is sequential, so the cells a cancelled dispatcher never
+	// handed out are exactly the suffix [dispatched:]. They still get a full
+	// Result (with their derived seed, for later resumption) and a distinct
+	// error, so reducers and reports see every cell exactly once.
+	for i := dispatched; i < len(rs.Results); i++ {
+		rs.Results[i] = Result{Cell: seeded(plan.Cells[i], opts.Seed), Err: ErrCancelled}
+	}
 	return rs, nil
+}
+
+// seeded fills a cell's derived seed.
+func seeded(c Cell, base int64) Cell {
+	if c.Seed == 0 {
+		c.Seed = DeriveSeed(base, c)
+	}
+	return c
+}
+
+// execute runs one seeded cell, through the store when one is configured.
+// The result's Stats are always a private snapshot.
+func execute(cell Cell, store *resultstore.Store, exec ExecFunc) (workloads.RunResult, bool, error) {
+	if store == nil {
+		run, err := exec(cell)
+		if err == nil && run.Stats != nil {
+			run.Stats = run.Stats.Snapshot()
+		}
+		return run, false, err
+	}
+	return store.GetOrCompute(resultstore.Key{Cell: cell.Key(), Seed: cell.Seed},
+		func() (workloads.RunResult, error) { return exec(cell) })
 }

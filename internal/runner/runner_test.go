@@ -1,12 +1,17 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"dhtm/internal/config"
+	"dhtm/internal/resultstore"
 	"dhtm/internal/stats"
 	"dhtm/internal/workloads"
 )
@@ -43,7 +48,7 @@ func grid(n int) Plan {
 func TestRunExecutesEveryCellInPlanOrder(t *testing.T) {
 	for _, par := range []int{1, 4, 16} {
 		var calls atomic.Int64
-		rs, err := Run(grid(9), fakeExec(&calls), Options{Parallel: par})
+		rs, err := Run(context.Background(), grid(9), fakeExec(&calls), Options{Parallel: par})
 		if err != nil {
 			t.Fatalf("parallel=%d: %v", par, err)
 		}
@@ -103,7 +108,7 @@ func TestDerivedSeedsAreContentAddressed(t *testing.T) {
 	// The same cell run at different parallelism gets the same seed.
 	for _, par := range []int{1, 8} {
 		var calls atomic.Int64
-		rs, err := Run(Plan{Name: "p", Cells: []Cell{c}}, fakeExec(&calls), Options{Parallel: par, Seed: 7})
+		rs, err := Run(context.Background(), Plan{Name: "p", Cells: []Cell{c}}, fakeExec(&calls), Options{Parallel: par, Seed: 7})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -118,7 +123,7 @@ func TestDerivedSeedsAreContentAddressed(t *testing.T) {
 func TestExplicitSeedIsRespected(t *testing.T) {
 	var calls atomic.Int64
 	p := Plan{Name: "p", Cells: []Cell{{ID: "a", Design: "d", Workload: "w", Seed: 123}}}
-	rs, err := Run(p, fakeExec(&calls), Options{Seed: 7})
+	rs, err := Run(context.Background(), p, fakeExec(&calls), Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +142,7 @@ func TestErrorsAreCollectedNotFailFast(t *testing.T) {
 		}
 		return workloads.RunResult{Committed: 1, Cycles: 1}, nil
 	}
-	rs, err := Run(grid(3), exec, Options{Parallel: 2})
+	rs, err := Run(context.Background(), grid(3), exec, Options{Parallel: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +174,7 @@ func TestProgressReportsEveryCell(t *testing.T) {
 	var calls atomic.Int64
 	var events int
 	last := 0
-	_, err := Run(grid(7), fakeExec(&calls), Options{Parallel: 4, Progress: func(ev ProgressEvent) {
+	_, err := Run(context.Background(), grid(7), fakeExec(&calls), Options{Parallel: 4, Progress: func(ev ProgressEvent) {
 		events++
 		if ev.Done != last+1 || ev.Total != 7 {
 			t.Errorf("progress event out of order: done=%d total=%d after %d", ev.Done, ev.Total, last)
@@ -187,11 +192,11 @@ func TestProgressReportsEveryCell(t *testing.T) {
 // TestPlanValidation rejects ambiguous plans.
 func TestPlanValidation(t *testing.T) {
 	dup := Plan{Name: "dup", Cells: []Cell{{ID: "a", Design: "d", Workload: "w"}, {ID: "a", Design: "e", Workload: "w"}}}
-	if _, err := Run(dup, fakeExec(new(atomic.Int64)), Options{}); err == nil {
+	if _, err := Run(context.Background(), dup, fakeExec(new(atomic.Int64)), Options{}); err == nil {
 		t.Fatalf("duplicate cell IDs accepted")
 	}
 	anon := Plan{Name: "anon", Cells: []Cell{{Design: "d", Workload: "w"}}}
-	if _, err := Run(anon, fakeExec(new(atomic.Int64)), Options{}); err == nil {
+	if _, err := Run(context.Background(), anon, fakeExec(new(atomic.Int64)), Options{}); err == nil {
 		t.Fatalf("empty cell ID accepted")
 	}
 }
@@ -204,7 +209,7 @@ func TestResultStatsAreSnapshotted(t *testing.T) {
 	exec := func(Cell) (workloads.RunResult, error) {
 		return workloads.RunResult{Stats: src}, nil
 	}
-	rs, err := Run(grid(1), exec, Options{})
+	rs, err := Run(context.Background(), grid(1), exec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +229,7 @@ func TestMergedStats(t *testing.T) {
 		st.Core(0).Commits = 4
 		return workloads.RunResult{Stats: st}, nil
 	}
-	rs, err := Run(grid(3), exec, Options{})
+	rs, err := Run(context.Background(), grid(3), exec, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +244,7 @@ func TestMergedStats(t *testing.T) {
 func TestForEachCoversEveryIndexConcurrently(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 64} {
 		var hits [37]int32
-		ForEach(len(hits), workers, func(i int) {
+		ForEach(context.Background(), len(hits), workers, func(i int) {
 			atomic.AddInt32(&hits[i], 1)
 		})
 		for i, n := range hits {
@@ -248,5 +253,170 @@ func TestForEachCoversEveryIndexConcurrently(t *testing.T) {
 			}
 		}
 	}
-	ForEach(0, 4, func(int) { t.Fatalf("fn called for an empty range") })
+	ForEach(context.Background(), 0, 4, func(int) { t.Fatalf("fn called for an empty range") })
+}
+
+// TestRunCancellation checks clean cancellation: in-flight cells finish and
+// report normally, never-started cells carry ErrCancelled (with their
+// derived seed filled in, for resumption), and the result set still covers
+// the whole plan.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	exec := func(c Cell) (workloads.RunResult, error) {
+		if c.ID == "d0/w" {
+			close(started)
+			cancel()
+		}
+		return workloads.RunResult{Design: c.Design}, nil
+	}
+	// One worker: cell 0 cancels mid-flight, cells 1 and 2 must be skipped.
+	rs, err := Run(ctx, grid(3), exec, Options{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	first := rs.Results[0]
+	if first.Err != nil || first.Run.Design != "d0" {
+		t.Fatalf("in-flight cell did not finish cleanly: %+v", first)
+	}
+	for i := 1; i < 3; i++ {
+		r := rs.Results[i]
+		if !errors.Is(r.Err, ErrCancelled) || !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("cell %d: err = %v, want ErrCancelled wrapping context.Canceled", i, r.Err)
+		}
+		if r.Cell.Seed == 0 {
+			t.Fatalf("cancelled cell %d lost its derived seed", i)
+		}
+	}
+	if rs.Err() == nil {
+		t.Fatalf("cancelled sweep reports no error")
+	}
+}
+
+// TestForEachStopsDispatchOnCancel checks the primitive's contract directly.
+func TestForEachStopsDispatchOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	dispatched := ForEach(ctx, 1000, 1, func(i int) {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+	})
+	if got := ran.Load(); got >= 1000 {
+		t.Fatalf("cancellation did not stop dispatch (%d ran)", got)
+	}
+	if int(ran.Load()) != dispatched {
+		t.Fatalf("dispatched %d but ran %d", dispatched, ran.Load())
+	}
+}
+
+// storePlan builds a plan of n distinct cells wired to a store.
+func storePlan(t *testing.T, n int, dir string) Plan {
+	t.Helper()
+	st, err := resultstore.Open(dir, resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := grid(n)
+	p.Store = st
+	return p
+}
+
+// TestRunReadsThroughStore checks the read-through/write-through layer: a
+// cold sweep simulates and persists every cell, a warm sweep (same plan,
+// fresh store instance over the same directory) answers every cell from the
+// store with byte-identical results and zero simulations.
+func TestRunReadsThroughStore(t *testing.T) {
+	dir := t.TempDir()
+
+	var cold atomic.Int64
+	p1 := storePlan(t, 4, dir)
+	rs1, err := Run(context.Background(), p1, fakeExec(&cold), Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Load() != 4 {
+		t.Fatalf("cold sweep simulated %d cells, want 4", cold.Load())
+	}
+	for _, r := range rs1.Results {
+		if r.Cached {
+			t.Fatalf("cold sweep reported a cache hit: %+v", r.Cell)
+		}
+	}
+
+	var warm atomic.Int64
+	p2 := storePlan(t, 4, dir)
+	rs2, err := Run(context.Background(), p2, fakeExec(&warm), Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Load() != 0 {
+		t.Fatalf("warm sweep simulated %d cells, want 0", warm.Load())
+	}
+	m := p2.Store.Metrics()
+	if m.Hits() != 4 || m.Computes != 0 {
+		t.Fatalf("warm metrics = %+v, want 4 hits, 0 computes", m)
+	}
+	for i := range rs2.Results {
+		if !rs2.Results[i].Cached {
+			t.Fatalf("warm cell %d not marked cached", i)
+		}
+		if !reflect.DeepEqual(rs1.Results[i].Run, rs2.Results[i].Run) {
+			t.Fatalf("warm cell %d differs from cold run:\n%+v\nvs\n%+v",
+				i, rs1.Results[i].Run, rs2.Results[i].Run)
+		}
+	}
+
+	// A different base seed addresses different results: simulate again.
+	var reseeded atomic.Int64
+	p3 := storePlan(t, 4, dir)
+	if _, err := Run(context.Background(), p3, fakeExec(&reseeded), Options{Seed: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if reseeded.Load() != 4 {
+		t.Fatalf("different seed reused cached results (%d simulated)", reseeded.Load())
+	}
+}
+
+// TestConcurrentSweepsSimulateOnce checks the acceptance property: two
+// concurrent runs of the same plan against one shared store simulate each
+// cell exactly once between them.
+func TestConcurrentSweepsSimulateOnce(t *testing.T) {
+	st, err := resultstore.Open(t.TempDir(), resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sims atomic.Int64
+	slow := func(c Cell) (workloads.RunResult, error) {
+		sims.Add(1)
+		time.Sleep(5 * time.Millisecond) // widen the race window
+		return workloads.RunResult{Design: c.Design, Committed: uint64(c.Seed)}, nil
+	}
+	const n = 6
+	var wg sync.WaitGroup
+	sets := make([]*ResultSet, 2)
+	for s := range sets {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			p := grid(n)
+			p.Store = st
+			rs, err := Run(context.Background(), p, slow, Options{Seed: 7, Parallel: 3})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sets[s] = rs
+		}(s)
+	}
+	wg.Wait()
+	if sims.Load() != n {
+		t.Fatalf("concurrent sweeps simulated %d cells, want exactly %d", sims.Load(), n)
+	}
+	for i := 0; i < n; i++ {
+		if !reflect.DeepEqual(sets[0].Results[i].Run, sets[1].Results[i].Run) {
+			t.Fatalf("cell %d: the two sweeps disagree", i)
+		}
+	}
 }

@@ -1,0 +1,385 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"dhtm/internal/crashtest"
+	"dhtm/internal/harness"
+	"dhtm/internal/runner"
+	"dhtm/internal/workloads"
+)
+
+// JobKind selects what a submitted campaign runs.
+type JobKind string
+
+const (
+	// KindExperiment runs one or more of the paper's named experiments
+	// (harness.Experiments) and renders their tables.
+	KindExperiment JobKind = "experiment"
+	// KindSweep runs a caller-supplied runner.Plan of cells.
+	KindSweep JobKind = "sweep"
+	// KindCrashtest runs a crash-point exploration.
+	KindCrashtest JobKind = "crashtest"
+)
+
+// JobSpec is the JSON body of POST /api/v1/jobs.
+type JobSpec struct {
+	Kind JobKind `json:"kind"`
+
+	// Experiment jobs: the experiment IDs to run (empty or ["all"] = every
+	// experiment), plus the harness scaling knobs.
+	Experiments []string `json:"experiments,omitempty"`
+	Quick       bool     `json:"quick,omitempty"`
+	TxPerCore   int      `json:"tx_per_core,omitempty"`
+	Cores       int      `json:"cores,omitempty"`
+
+	// Sweep jobs: the literal cell grid to run.
+	Plan *runner.Plan `json:"plan,omitempty"`
+
+	// Crashtest jobs: the exploration configuration.
+	Crashtest *crashtest.Config `json:"crashtest,omitempty"`
+
+	// Shared knobs. Parallel is clamped to the server's per-job cap.
+	Seed     int64 `json:"seed,omitempty"`
+	Parallel int   `json:"parallel,omitempty"`
+}
+
+// validate rejects malformed specs at submit time, so a queued job can only
+// fail by simulating, never by parsing.
+func (s *JobSpec) validate() error {
+	switch s.Kind {
+	case KindExperiment:
+		ids := s.experimentIDs()
+		for _, id := range ids {
+			if _, ok := harness.Find(id); !ok {
+				return fmt.Errorf("unknown experiment %q (valid: all, %s)", id, strings.Join(harness.ExperimentIDs(), ", "))
+			}
+		}
+	case KindSweep:
+		if s.Plan == nil || len(s.Plan.Cells) == 0 {
+			return fmt.Errorf("sweep jobs need a non-empty plan")
+		}
+		if err := s.Plan.Validate(); err != nil {
+			return err
+		}
+		for _, c := range s.Plan.Cells {
+			if !knownDesign(c.Design) {
+				return fmt.Errorf("cell %q: unknown design %q (valid: %s)", c.ID, c.Design, strings.Join(harness.Designs(), ", "))
+			}
+			if _, err := workloads.New(c.Workload); err != nil {
+				return fmt.Errorf("cell %q: %v", c.ID, err)
+			}
+		}
+	case KindCrashtest:
+		if s.Crashtest == nil {
+			return fmt.Errorf("crashtest jobs need a crashtest configuration")
+		}
+		supported := false
+		for _, d := range crashtest.Supported() {
+			if s.Crashtest.Design == d {
+				supported = true
+			}
+		}
+		if !supported {
+			return fmt.Errorf("design %q is not supported by the crash-point explorer (supported: %s)",
+				s.Crashtest.Design, strings.Join(crashtest.Supported(), ", "))
+		}
+		if _, err := workloads.New(s.Crashtest.Workload); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown job kind %q (valid: %s, %s, %s)", s.Kind, KindExperiment, KindSweep, KindCrashtest)
+	}
+	return nil
+}
+
+// experimentIDs resolves the experiment selection ("all" and empty both mean
+// everything).
+func (s *JobSpec) experimentIDs() []string {
+	if len(s.Experiments) == 0 {
+		return harness.ExperimentIDs()
+	}
+	var ids []string
+	for _, id := range s.Experiments {
+		id = strings.TrimSpace(id)
+		switch id {
+		case "":
+		case "all":
+			return harness.ExperimentIDs()
+		default:
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return harness.ExperimentIDs()
+	}
+	return ids
+}
+
+// knownDesign reports whether name is a runnable design.
+func knownDesign(name string) bool {
+	for _, d := range harness.Designs() {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
+// JobState is a job's lifecycle phase.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// terminal reports whether the state is final.
+func (s JobState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// CellProgress counts a job's cells.
+type CellProgress struct {
+	Total int `json:"total"`
+	Done  int `json:"done"`
+	// Cached cells were answered by the result store without simulating;
+	// Failed cells returned an error (cancellation included).
+	Cached int `json:"cached"`
+	Failed int `json:"failed"`
+}
+
+// Event is one progress notification, delivered over SSE and retained (up
+// to maxEventHistory) for replay to later subscribers. Seq is dense per
+// job, so a client that spots a gap — it drained too slowly and missed live
+// deliveries, or old history was trimmed — knows to reconnect to /events
+// for a fresh replay of everything still retained.
+type Event struct {
+	Seq  int       `json:"seq"`
+	Type string    `json:"type"` // "state", "cell", "point", "done"
+	Job  string    `json:"job"`
+	Time time.Time `json:"time"`
+
+	// State events.
+	State JobState `json:"state,omitempty"`
+	Error string   `json:"error,omitempty"`
+
+	// Cell events (experiment and sweep jobs).
+	Experiment string        `json:"experiment,omitempty"`
+	Cell       string        `json:"cell,omitempty"`
+	Cached     bool          `json:"cached,omitempty"`
+	CellError  string        `json:"cell_error,omitempty"`
+	Elapsed    time.Duration `json:"elapsed_ns,omitempty"`
+
+	// Shared progress counters (cells for cell events, crash points for
+	// point events).
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
+}
+
+// ExperimentOutcome is one experiment's result within an experiment job.
+type ExperimentOutcome struct {
+	ID    string         `json:"id"`
+	Title string         `json:"title"`
+	Table *harness.Table `json:"table,omitempty"`
+	Error string         `json:"error,omitempty"`
+}
+
+// CellOutcome is one cell's result within a sweep job.
+type CellOutcome struct {
+	Cell       runner.Cell `json:"cell"`
+	Cached     bool        `json:"cached,omitempty"`
+	Committed  uint64      `json:"committed"`
+	Cycles     uint64      `json:"cycles"`
+	Throughput float64     `json:"throughput_tx_per_mcycle"`
+	Error      string      `json:"error,omitempty"`
+}
+
+// Job is one submitted campaign. All mutable state is guarded by mu; the
+// HTTP layer reads through snapshot methods.
+type Job struct {
+	ID   string  `json:"id"`
+	Kind JobKind `json:"kind"`
+
+	spec   JobSpec
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     JobState
+	err       string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cells     CellProgress
+	events    []Event
+	nextSeq   int
+	subs      map[chan Event]struct{}
+
+	experiments []ExperimentOutcome
+	sweep       []CellOutcome
+	crashtest   *crashtest.Report
+}
+
+// Status is the polling view of a job (GET /api/v1/jobs/{id}).
+type Status struct {
+	ID        string       `json:"id"`
+	Kind      JobKind      `json:"kind"`
+	State     JobState     `json:"state"`
+	Error     string       `json:"error,omitempty"`
+	Submitted time.Time    `json:"submitted"`
+	Started   *time.Time   `json:"started,omitempty"`
+	Finished  *time.Time   `json:"finished,omitempty"`
+	Cells     CellProgress `json:"cells"`
+	Events    int          `json:"events"`
+
+	// Spec and the result payloads below are included by the single-job
+	// endpoint and omitted from listings.
+	Spec *JobSpec `json:"spec,omitempty"`
+
+	Experiments []ExperimentOutcome `json:"experiments,omitempty"`
+	Sweep       []CellOutcome       `json:"sweep,omitempty"`
+	Crashtest   *crashtest.Report   `json:"crashtest,omitempty"`
+}
+
+// status snapshots the job under its lock, results included.
+func (j *Job) status() Status {
+	st := j.summary()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	spec := j.spec
+	st.Spec = &spec
+	st.Experiments = append([]ExperimentOutcome(nil), j.experiments...)
+	st.Sweep = append([]CellOutcome(nil), j.sweep...)
+	st.Crashtest = j.crashtest
+	return st
+}
+
+// summary is the listing view: lifecycle and counters only, no result
+// payloads — a job list stays constant-size per job no matter how many
+// tables and cells each job produced.
+func (j *Job) summary() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID: j.ID, Kind: j.Kind, State: j.state, Error: j.err,
+		Submitted: j.submitted, Cells: j.cells, Events: j.nextSeq,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// maxEventHistory caps a job's retained event history. History exists only
+// to replay progress to late SSE subscribers, so when a job outgrows the
+// cap (an exhaustive crashtest has tens of thousands of points) the oldest
+// half is dropped — late subscribers see a Seq gap, not a memory leak.
+const maxEventHistory = 4096
+
+// publish appends an event to the job's history and fans it out to SSE
+// subscribers. A subscriber too slow to drain its buffer misses the live
+// delivery; the Seq gap tells it to reconnect for a replay.
+func (j *Job) publish(ev Event) {
+	j.mu.Lock()
+	ev.Seq = j.nextSeq
+	j.nextSeq++
+	ev.Job = j.ID
+	ev.Time = time.Now()
+	if len(j.events) >= maxEventHistory {
+		j.events = append(j.events[:0], j.events[maxEventHistory/2:]...)
+	}
+	j.events = append(j.events, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// subscribe returns the event history so far and a channel carrying every
+// later event. When the job is already terminal the channel arrives closed.
+func (j *Job) subscribe() ([]Event, chan Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	history := append([]Event(nil), j.events...)
+	ch := make(chan Event, 256)
+	if j.state.terminal() {
+		close(ch)
+		return history, ch
+	}
+	j.subs[ch] = struct{}{}
+	return history, ch
+}
+
+// unsubscribe detaches an SSE client.
+func (j *Job) unsubscribe(ch chan Event) {
+	j.mu.Lock()
+	if _, ok := j.subs[ch]; ok {
+		delete(j.subs, ch)
+		close(ch)
+	}
+	j.mu.Unlock()
+}
+
+// setState transitions the job and publishes a state event.
+func (j *Job) setState(state JobState, errMsg string) {
+	j.mu.Lock()
+	j.state = state
+	j.err = errMsg
+	switch state {
+	case StateRunning:
+		j.started = time.Now()
+	case StateDone, StateFailed, StateCancelled:
+		j.finished = time.Now()
+	}
+	j.mu.Unlock()
+	j.publish(Event{Type: "state", State: state, Error: errMsg})
+	if state.terminal() {
+		j.mu.Lock()
+		subs := j.subs
+		j.subs = map[chan Event]struct{}{}
+		j.mu.Unlock()
+		for ch := range subs {
+			close(ch)
+		}
+	}
+}
+
+// cellDone folds one completed cell into the job's counters and publishes
+// its event.
+func (j *Job) cellDone(experiment string, ev runner.ProgressEvent) {
+	j.mu.Lock()
+	j.cells.Done++
+	if ev.Result.Cached {
+		j.cells.Cached++
+	}
+	if ev.Result.Err != nil {
+		j.cells.Failed++
+	}
+	done, total := j.cells.Done, j.cells.Total
+	j.mu.Unlock()
+	cellErr := ""
+	if ev.Result.Err != nil {
+		cellErr = ev.Result.Err.Error()
+	}
+	j.publish(Event{
+		Type: "cell", Experiment: experiment, Cell: ev.Result.Cell.ID,
+		Cached: ev.Result.Cached, CellError: cellErr, Elapsed: ev.Result.Elapsed,
+		Done: done, Total: total,
+	})
+}

@@ -1,0 +1,585 @@
+// Package serve is the campaign service of the reproduction: an HTTP API
+// that accepts experiment, sweep and crash-test campaigns as JSON jobs,
+// executes them on a bounded worker pool through the existing runner, and
+// streams per-cell progress to any number of clients. Wired to a
+// resultstore.Store, it is the serving layer the ROADMAP's production
+// north-star asks for: a cell is simulated at most once ever — concurrent
+// submits share in-flight computes (singleflight), later submits are
+// answered from memory or disk without simulating, and interrupted
+// campaigns resume from what already persisted.
+//
+// API (all under /api/v1):
+//
+//	POST   /jobs             submit a JobSpec               -> Status (202)
+//	GET    /jobs             list jobs                      -> []Status
+//	GET    /jobs/{id}        poll one job                   -> Status
+//	DELETE /jobs/{id}        cancel a queued or running job -> Status
+//	GET    /jobs/{id}/events Server-Sent Events progress stream
+//	GET    /jobs/{id}/tables rendered harness tables (text/plain)
+//	GET    /store            result-store metrics
+//	GET    /catalog          experiments, designs, workloads the service runs
+//	GET    /healthz          liveness (also at top level /healthz)
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dhtm/internal/crashtest"
+	"dhtm/internal/harness"
+	"dhtm/internal/resultstore"
+	"dhtm/internal/runner"
+	"dhtm/internal/workloads"
+)
+
+// Config assembles a server.
+type Config struct {
+	// Store answers repeated cells without simulating. Required; use a
+	// memory-only store (resultstore.Open("", ...)) to serve without
+	// persistence.
+	Store *resultstore.Store
+	// Workers bounds how many jobs execute concurrently (<= 0 means 2).
+	// Queued jobs wait their turn in submission order.
+	Workers int
+	// CellParallel caps each job's cell worker pool (<= 0 means GOMAXPROCS).
+	// A job asking for more is clamped, so one greedy campaign cannot
+	// oversubscribe the host.
+	CellParallel int
+	// MaxJobs bounds the retained job history (<= 0 means 1024). Submits
+	// beyond it are rejected with 503 until old terminal jobs are evicted.
+	MaxJobs int
+}
+
+// Server executes campaigns. Create with New, expose with Handler.
+type Server struct {
+	cfg Config
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	order  []string // submission order, for listing and eviction
+	nextID int
+
+	sem     chan struct{} // job worker-pool slots
+	wg      sync.WaitGroup
+	baseCtx context.Context
+	stop    context.CancelFunc
+}
+
+// New returns a ready server. Call Close to cancel running jobs on
+// shutdown.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("serve: Config.Store is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.CellParallel <= 0 {
+		// Without a cap a client could ask for arbitrary per-job parallelism;
+		// GOMAXPROCS keeps "one greedy campaign cannot oversubscribe the
+		// host" true by default.
+		cfg.CellParallel = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1024
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:     cfg,
+		jobs:    make(map[string]*Job),
+		sem:     make(chan struct{}, cfg.Workers),
+		baseCtx: ctx,
+		stop:    cancel,
+	}, nil
+}
+
+// Close cancels every job and waits for the running ones to wind down.
+func (s *Server) Close() {
+	s.stop()
+	s.wg.Wait()
+}
+
+// Store exposes the server's result store (the CLI reports its metrics on
+// shutdown).
+func (s *Server) Store() *resultstore.Store { return s.cfg.Store }
+
+// Handler returns the HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /api/v1/store", s.handleStore)
+	mux.HandleFunc("GET /api/v1/catalog", s.handleCatalog)
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/tables", s.handleTables)
+	return mux
+}
+
+// writeJSON writes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// apiError is the JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.order)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "jobs": n})
+}
+
+func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dir":     s.cfg.Store.Dir(),
+		"metrics": s.cfg.Store.Metrics(),
+	})
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	type experiment struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+	}
+	var exps []experiment
+	for _, e := range harness.Experiments() {
+		exps = append(exps, experiment{ID: e.ID, Title: e.Title})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"experiments":       exps,
+		"designs":           harness.Designs(),
+		"workloads":         workloads.Names(),
+		"crashtest_designs": crashtest.Supported(),
+		"job_kinds":         []JobKind{KindExperiment, KindSweep, KindCrashtest},
+		"workers":           s.cfg.Workers,
+		"cell_parallel_cap": s.cfg.CellParallel,
+		"result_store_dir":  s.cfg.Store.Dir(),
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	if err := spec.validate(); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job, err := s.submit(spec)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/api/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job.status())
+}
+
+// submit registers the job and hands it to the worker pool.
+func (s *Server) submit(spec JobSpec) (*Job, error) {
+	s.mu.Lock()
+	if len(s.order) >= s.cfg.MaxJobs && !s.evictOneLocked() {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("job table full (%d jobs, none terminal)", s.cfg.MaxJobs)
+	}
+	s.nextID++
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	job := &Job{
+		ID:        fmt.Sprintf("job-%06d", s.nextID),
+		Kind:      spec.Kind,
+		spec:      spec,
+		ctx:       ctx,
+		cancel:    cancel,
+		state:     StateQueued,
+		submitted: time.Now(),
+		subs:      map[chan Event]struct{}{},
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer cancel()
+		// Take a worker slot; a cancel while queued must not wedge the slot.
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-ctx.Done():
+			job.setState(StateCancelled, "cancelled while queued")
+			return
+		}
+		s.run(job)
+	}()
+	return job, nil
+}
+
+// evictOneLocked drops the oldest terminal job to make room. Reports false
+// when every retained job is still live.
+func (s *Server) evictOneLocked() bool {
+	for i, id := range s.order {
+		j := s.jobs[id]
+		j.mu.Lock()
+		terminal := j.state.terminal()
+		j.mu.Unlock()
+		if terminal {
+			delete(s.jobs, id)
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// run executes one job to a terminal state.
+func (s *Server) run(job *Job) {
+	if err := job.ctx.Err(); err != nil {
+		job.setState(StateCancelled, "cancelled while queued")
+		return
+	}
+	job.setState(StateRunning, "")
+
+	var err error
+	switch job.Kind {
+	case KindExperiment:
+		err = s.runExperiments(job)
+	case KindSweep:
+		err = s.runSweep(job)
+	case KindCrashtest:
+		err = s.runCrashtest(job)
+	}
+
+	switch {
+	case err == nil:
+		// A cancel that raced a successful completion does not un-complete
+		// the job: every result computed and persisted, so report done.
+		job.setState(StateDone, "")
+	case errors.Is(err, context.Canceled) || job.ctx.Err() != nil:
+		job.setState(StateCancelled, "cancelled")
+	default:
+		job.setState(StateFailed, err.Error())
+	}
+}
+
+// parallel clamps a job's requested cell parallelism to the server cap.
+func (s *Server) parallel(requested int) int {
+	p := requested
+	if s.cfg.CellParallel > 0 && (p <= 0 || p > s.cfg.CellParallel) {
+		p = s.cfg.CellParallel
+	}
+	return p
+}
+
+// runExperiments executes the selected harness experiments sequentially
+// (their cells fan out in parallel) so tables stream out as they finish.
+func (s *Server) runExperiments(job *Job) error {
+	ids := job.spec.experimentIDs()
+	opts := harness.Options{
+		Quick: job.spec.Quick, TxPerCore: job.spec.TxPerCore, Cores: job.spec.Cores,
+		Seed: job.spec.Seed, Parallel: s.parallel(job.spec.Parallel),
+		Store: s.cfg.Store,
+	}
+
+	// Pre-size the cell counter so progress fractions are stable from the
+	// first event.
+	total := 0
+	for _, id := range ids {
+		e, _ := harness.Find(id)
+		total += len(e.Plan(opts).Cells)
+	}
+	job.mu.Lock()
+	job.cells.Total = total
+	job.mu.Unlock()
+
+	var failures []string
+	for _, id := range ids {
+		if job.ctx.Err() != nil {
+			return context.Canceled
+		}
+		e, _ := harness.Find(id)
+		expOpts := opts
+		expOpts.Progress = func(ev runner.ProgressEvent) { job.cellDone(id, ev) }
+		outcome := ExperimentOutcome{ID: e.ID, Title: e.Title}
+		rs, err := e.RunGrid(job.ctx, expOpts)
+		if err == nil {
+			if err = rs.Err(); err == nil {
+				outcome.Table, err = e.Reduce(expOpts, rs)
+			}
+		}
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				return context.Canceled
+			}
+			outcome.Error = err.Error()
+			failures = append(failures, fmt.Sprintf("%s: %v", e.ID, err))
+		}
+		job.mu.Lock()
+		job.experiments = append(job.experiments, outcome)
+		job.mu.Unlock()
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d of %d experiments failed: %s", len(failures), len(ids), strings.Join(failures, "; "))
+	}
+	return nil
+}
+
+// runSweep executes a literal cell plan through the store.
+func (s *Server) runSweep(job *Job) error {
+	plan := *job.spec.Plan
+	plan.Store = s.cfg.Store
+	job.mu.Lock()
+	job.cells.Total = len(plan.Cells)
+	job.mu.Unlock()
+
+	rs, err := runner.Run(job.ctx, plan, harness.Execute, runner.Options{
+		Parallel: s.parallel(job.spec.Parallel),
+		Seed:     job.spec.Seed,
+		Progress: func(ev runner.ProgressEvent) { job.cellDone(plan.Name, ev) },
+	})
+	if err != nil {
+		return err
+	}
+	outcomes := make([]CellOutcome, len(rs.Results))
+	for i, r := range rs.Results {
+		o := CellOutcome{Cell: r.Cell, Cached: r.Cached}
+		if r.Err != nil {
+			o.Error = r.Err.Error()
+		} else {
+			o.Committed = r.Run.Committed
+			o.Cycles = r.Run.Cycles
+			o.Throughput = r.Run.Throughput()
+		}
+		outcomes[i] = o
+	}
+	job.mu.Lock()
+	job.sweep = outcomes
+	job.mu.Unlock()
+	return rs.Err()
+}
+
+// runCrashtest executes a crash-point exploration, mapping its point
+// progress onto job events.
+func (s *Server) runCrashtest(job *Job) error {
+	cfg := *job.spec.Crashtest
+	cfg.Parallel = s.parallel(job.spec.Parallel)
+	if cfg.Seed == 0 {
+		cfg.Seed = job.spec.Seed
+	}
+	// One event per explored point would swamp the history and the SSE
+	// streams on exhaustive explorations; batch like the CLI's progress log.
+	cfg.Progress = func(done, total int) {
+		if done%64 == 0 || done == total {
+			job.publish(Event{Type: "point", Done: done, Total: total})
+		}
+	}
+	rep, err := crashtest.Explore(job.ctx, cfg)
+	if err != nil {
+		return err
+	}
+	job.mu.Lock()
+	job.crashtest = rep
+	job.mu.Unlock()
+	if rep.Failed > 0 {
+		return fmt.Errorf("%d of %d crash points failed; reproduce: %s", rep.Failed, rep.Explored, rep.Repro)
+	}
+	return nil
+}
+
+// lookup resolves {id}, writing the 404 itself on a miss.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *Job {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	job := s.jobs[id]
+	s.mu.Unlock()
+	if job == nil {
+		writeError(w, http.StatusNotFound, "no job %q", id)
+	}
+	return job
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, len(ids))
+	for i, id := range ids {
+		jobs[i] = s.jobs[id]
+	}
+	s.mu.Unlock()
+	statuses := make([]Status, len(jobs))
+	for i, j := range jobs {
+		statuses[i] = j.summary()
+	}
+	writeJSON(w, http.StatusOK, statuses)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if job := s.lookup(w, r); job != nil {
+		writeJSON(w, http.StatusOK, job.status())
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(w, r)
+	if job == nil {
+		return
+	}
+	job.cancel()
+	writeJSON(w, http.StatusAccepted, job.status())
+}
+
+// handleEvents streams the job's progress as Server-Sent Events: the full
+// history first, then live events until the job reaches a terminal state or
+// the client goes away.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(w, r)
+	if job == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	history, live := job.subscribe()
+	defer job.unsubscribe(live)
+	for _, ev := range history {
+		if err := writeSSE(w, ev); err != nil {
+			return
+		}
+	}
+	flusher.Flush()
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				// Terminal: tell the client explicitly so curl loops can stop.
+				fmt.Fprintf(w, "event: done\ndata: {}\n\n")
+				flusher.Flush()
+				return
+			}
+			if err := writeSSE(w, ev); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE renders one event in SSE framing.
+func writeSSE(w http.ResponseWriter, ev Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.Seq, data)
+	return err
+}
+
+// handleTables renders a job's results as the same aligned plain text the
+// CLIs print: harness tables for experiment jobs, a synthesized grid table
+// for sweep jobs, a summary for crash tests.
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(w, r)
+	if job == nil {
+		return
+	}
+	st := job.status()
+	if !st.State.terminal() {
+		writeError(w, http.StatusConflict, "job %s is %s; tables render once it finishes", st.ID, st.State)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	switch job.Kind {
+	case KindExperiment:
+		for _, o := range st.Experiments {
+			if o.Error != "" {
+				fmt.Fprintf(w, "%s — FAILED: %s\n\n", o.ID, o.Error)
+				continue
+			}
+			o.Table.Render(w)
+		}
+	case KindSweep:
+		sweepTable(st).Render(w)
+	case KindCrashtest:
+		rep := st.Crashtest
+		if rep == nil {
+			fmt.Fprintf(w, "crashtest produced no report: %s\n", st.Error)
+			return
+		}
+		fmt.Fprintf(w, "%s/%s: %d persist events, explored %d, %d failed\n",
+			rep.Design, rep.Workload, rep.TotalPoints, rep.Explored, rep.Failed)
+		classes := make([]string, 0, len(rep.EventsByClass))
+		for c := range rep.EventsByClass {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		for _, c := range classes {
+			fmt.Fprintf(w, "  %s=%d\n", c, rep.EventsByClass[c])
+		}
+		if rep.FirstFailure != nil {
+			fmt.Fprintf(w, "  first failure at point %d (%s): %s\n  reproduce: %s\n",
+				rep.FirstFailure.Point, rep.FirstFailure.Class, rep.FirstFailure.Err, rep.Repro)
+		}
+	}
+}
+
+// sweepTable renders sweep outcomes in the harness table format.
+func sweepTable(st Status) *harness.Table {
+	name := "sweep"
+	if st.Spec != nil && st.Spec.Plan != nil && st.Spec.Plan.Name != "" {
+		name = st.Spec.Plan.Name
+	}
+	t := &harness.Table{
+		ID:      name,
+		Title:   "sweep results",
+		Columns: []string{"cell", "design", "workload", "seed", "committed", "cycles", "tx/Mcycle", "cached", "error"},
+	}
+	for _, o := range st.Sweep {
+		cached := ""
+		if o.Cached {
+			cached = "yes"
+		}
+		t.Rows = append(t.Rows, []string{
+			o.Cell.ID, o.Cell.Design, o.Cell.Workload,
+			fmt.Sprintf("%d", o.Cell.Seed),
+			fmt.Sprintf("%d", o.Committed),
+			fmt.Sprintf("%d", o.Cycles),
+			fmt.Sprintf("%.3f", o.Throughput),
+			cached, o.Error,
+		})
+	}
+	return t
+}

@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dhtm/internal/crashtest"
+	"dhtm/internal/resultstore"
+	"dhtm/internal/runner"
+)
+
+// newTestServer spins up a server over an httptest listener.
+func newTestServer(t *testing.T, dir string, workers int) (*Server, *httptest.Server) {
+	t.Helper()
+	store, err := resultstore.Open(dir, resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+// submit posts a job spec and decodes the accepted status.
+func submit(t *testing.T, ts *httptest.Server, spec any) Status {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	return st
+}
+
+// getStatus polls one job.
+func getStatus(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// await polls until the job is terminal.
+func await(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		if st.State.terminal() {
+			return st
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish in time", id)
+	return Status{}
+}
+
+// quickSweep is a fast two-cell campaign used across the tests.
+func quickSweep() JobSpec {
+	return JobSpec{
+		Kind: KindSweep,
+		Plan: &runner.Plan{
+			Name: "smoke",
+			Cells: []runner.Cell{
+				{ID: "DHTM/hash", Design: "DHTM", Workload: "hash", Cores: 2, TxPerCore: 2},
+				{ID: "ATOM/queue", Design: "ATOM", Workload: "queue", Cores: 2, TxPerCore: 2},
+			},
+		},
+		Seed: 7,
+	}
+}
+
+// TestSweepJobLifecycle drives a sweep campaign end to end over HTTP: submit,
+// poll to done, check per-cell outcomes and the rendered table.
+func TestSweepJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), 2)
+
+	st := submit(t, ts, quickSweep())
+	if st.State != StateQueued && st.State != StateRunning {
+		t.Fatalf("fresh job state = %s", st.State)
+	}
+	final := await(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("job finished %s (%s)", final.State, final.Error)
+	}
+	if final.Cells.Total != 2 || final.Cells.Done != 2 || final.Cells.Failed != 0 {
+		t.Fatalf("cell progress = %+v", final.Cells)
+	}
+	if len(final.Sweep) != 2 {
+		t.Fatalf("sweep outcomes = %d, want 2", len(final.Sweep))
+	}
+	for _, o := range final.Sweep {
+		if o.Committed == 0 || o.Cycles == 0 {
+			t.Fatalf("cell %s reported empty result: %+v", o.Cell.ID, o)
+		}
+		if o.Cell.Seed == 0 {
+			t.Fatalf("cell %s lost its derived seed", o.Cell.ID)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + st.ID + "/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	for _, want := range []string{"DHTM/hash", "ATOM/queue", "tx/Mcycle"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("tables output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestWarmResubmitIsFullCacheHit is the acceptance criterion: the second
+// submit of the same campaign answers every cell from the store, simulating
+// nothing, and produces identical results.
+func TestWarmResubmitIsFullCacheHit(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir(), 2)
+
+	cold := await(t, ts, submit(t, ts, quickSweep()).ID)
+	if cold.State != StateDone || cold.Cells.Cached != 0 {
+		t.Fatalf("cold run: %+v", cold.Cells)
+	}
+	computed := srv.Store().Metrics().Computes
+
+	warm := await(t, ts, submit(t, ts, quickSweep()).ID)
+	if warm.State != StateDone {
+		t.Fatalf("warm run finished %s (%s)", warm.State, warm.Error)
+	}
+	if warm.Cells.Cached != warm.Cells.Total {
+		t.Fatalf("warm run cached %d of %d cells, want all", warm.Cells.Cached, warm.Cells.Total)
+	}
+	if got := srv.Store().Metrics().Computes; got != computed {
+		t.Fatalf("warm run simulated %d extra cells, want 0", got-computed)
+	}
+	for i := range cold.Sweep {
+		c, w := cold.Sweep[i], warm.Sweep[i]
+		if c.Committed != w.Committed || c.Cycles != w.Cycles || c.Cell.Seed != w.Cell.Seed {
+			t.Fatalf("cell %s: warm result differs: cold %+v warm %+v", c.Cell.ID, c, w)
+		}
+	}
+}
+
+// TestConcurrentSubmitsSimulateEachCellOnce is the other acceptance
+// criterion: two concurrent submits of the same campaign share the
+// singleflight, so each cell simulates exactly once across both jobs.
+func TestConcurrentSubmitsSimulateEachCellOnce(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir(), 2)
+
+	var wg sync.WaitGroup
+	ids := make([]string, 2)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = submit(t, ts, quickSweep()).ID
+		}(i)
+	}
+	wg.Wait()
+	a, b := await(t, ts, ids[0]), await(t, ts, ids[1])
+	if a.State != StateDone || b.State != StateDone {
+		t.Fatalf("jobs finished %s/%s", a.State, b.State)
+	}
+	if got := srv.Store().Metrics().Computes; got != 2 {
+		t.Fatalf("two concurrent submits simulated %d cells, want exactly 2 (one per distinct cell)", got)
+	}
+	for i := range a.Sweep {
+		if a.Sweep[i].Committed != b.Sweep[i].Committed {
+			t.Fatalf("concurrent jobs disagree on cell %s", a.Sweep[i].Cell.ID)
+		}
+	}
+}
+
+// TestExperimentJob runs a real (quick, tiny) harness experiment through
+// the service and fetches its rendered table.
+func TestExperimentJob(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), 1)
+	st := submit(t, ts, JobSpec{
+		Kind: KindExperiment, Experiments: []string{"table4"},
+		Quick: true, TxPerCore: 1, Cores: 2, Seed: 7,
+	})
+	final := await(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("experiment job finished %s (%s)", final.State, final.Error)
+	}
+	if len(final.Experiments) != 1 || final.Experiments[0].Table == nil {
+		t.Fatalf("experiment outcome missing table: %+v", final.Experiments)
+	}
+	if final.Cells.Total == 0 || final.Cells.Done != final.Cells.Total {
+		t.Fatalf("cell progress = %+v", final.Cells)
+	}
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + st.ID + "/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "Table IV") {
+		t.Fatalf("tables output missing the Table IV header:\n%s", buf.String())
+	}
+}
+
+// TestSSEStreamsProgress subscribes to a job's event stream and checks the
+// full event sequence arrives: states, one event per cell, and the final
+// done frame.
+func TestSSEStreamsProgress(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), 1)
+	st := submit(t, ts, quickSweep())
+
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+
+	var cellEvents, stateEvents int
+	sawDone := false
+	scanner := bufio.NewScanner(resp.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case line == "event: cell":
+			cellEvents++
+		case line == "event: state":
+			stateEvents++
+		case line == "event: done":
+			sawDone = true
+		}
+		if sawDone {
+			break
+		}
+	}
+	if cellEvents != 2 {
+		t.Fatalf("saw %d cell events, want 2", cellEvents)
+	}
+	if stateEvents < 2 {
+		t.Fatalf("saw %d state events, want at least running+terminal", stateEvents)
+	}
+	if !sawDone {
+		t.Fatalf("stream ended without a done frame")
+	}
+}
+
+// TestCancelJob cancels a running crashtest campaign and checks it lands in
+// cancelled, not failed.
+func TestCancelJob(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), 1)
+	// An exhaustive crashtest is comfortably slow enough to catch mid-run.
+	st := submit(t, ts, JobSpec{
+		Kind:      KindCrashtest,
+		Crashtest: &crashtest.Config{Design: "DHTM", Workload: "hash", Cores: 4, TxPerCore: 4},
+	})
+	// Wait until it actually runs, then cancel.
+	deadline := time.Now().Add(30 * time.Second)
+	for getStatus(t, ts, st.ID).State == StateQueued && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/jobs/"+st.ID, nil)
+	if _, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	final := await(t, ts, st.ID)
+	if final.State != StateCancelled && final.State != StateDone {
+		t.Fatalf("cancelled job finished %s (%s)", final.State, final.Error)
+	}
+}
+
+// TestSubmitValidation checks malformed specs die at the door with 400s
+// that name the valid values.
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), 1)
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"unknown kind", `{"kind":"nope"}`, "unknown job kind"},
+		{"unknown experiment", `{"kind":"experiment","experiments":["fig99"]}`, "unknown experiment"},
+		{"empty sweep", `{"kind":"sweep"}`, "non-empty plan"},
+		{"bad design", `{"kind":"sweep","plan":{"name":"x","cells":[{"id":"a","design":"NOPE","workload":"hash"}]}}`, "unknown design"},
+		{"bad workload", `{"kind":"sweep","plan":{"name":"x","cells":[{"id":"a","design":"DHTM","workload":"nope"}]}}`, "unknown workload"},
+		{"crashtest without config", `{"kind":"crashtest"}`, "crashtest configuration"},
+		{"unsupported crashtest design", `{"kind":"crashtest","crashtest":{"design":"NP","workload":"hash"}}`, "not supported"},
+		{"unknown field", `{"kind":"sweep","plam":{}}`, "unknown field"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+			var apiErr apiError
+			if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(apiErr.Error, tc.want) {
+				t.Fatalf("error %q does not mention %q", apiErr.Error, tc.want)
+			}
+		})
+	}
+
+	// Unknown job id paths 404.
+	for _, path := range []string{"/api/v1/jobs/job-999999", "/api/v1/jobs/job-999999/events", "/api/v1/jobs/job-999999/tables"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestHealthAndStoreEndpoints sanity-checks the operational endpoints.
+func TestHealthAndStoreEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), 1)
+	for _, path := range []string{"/healthz", "/api/v1/store", "/api/v1/catalog", "/api/v1/jobs"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d", path, resp.StatusCode)
+		}
+	}
+}

@@ -55,36 +55,40 @@ func (r AbortReason) String() string {
 	}
 }
 
-// CoreStats are the per-core counters.
+// CoreStats are the per-core counters. The json tags fix the on-disk record
+// format of the result store; renaming a field without bumping
+// resultstore.FormatVersion makes old records decode with that counter
+// silently zeroed — served as valid cache hits with wrong numbers, not
+// recomputed. Bump the version (and regenerate the golden file) instead.
 type CoreStats struct {
-	Commits        uint64
-	Aborts         uint64
-	AbortsByReason [numAbortReasons]uint64
-	Fallbacks      uint64
+	Commits        uint64                  `json:"commits"`
+	Aborts         uint64                  `json:"aborts"`
+	AbortsByReason [numAbortReasons]uint64 `json:"aborts_by_reason"`
+	Fallbacks      uint64                  `json:"fallbacks"`
 
-	TxCycles      uint64 // cycles spent inside transactions (begin to commit point)
-	StallCycles   uint64 // cycles spent waiting to begin (completion, lock waits, backoff)
-	FinalCycle    uint64 // core-local clock at the end of the run
-	WriteSetLines uint64 // sum of distinct dirty lines over committed transactions
-	ReadSetLines  uint64
+	TxCycles      uint64 `json:"tx_cycles"`       // cycles spent inside transactions (begin to commit point)
+	StallCycles   uint64 `json:"stall_cycles"`    // cycles spent waiting to begin (completion, lock waits, backoff)
+	FinalCycle    uint64 `json:"final_cycle"`     // core-local clock at the end of the run
+	WriteSetLines uint64 `json:"write_set_lines"` // sum of distinct dirty lines over committed transactions
+	ReadSetLines  uint64 `json:"read_set_lines"`
 
-	L1Hits    uint64
-	L1Misses  uint64
-	LLCHits   uint64
-	LLCMisses uint64
+	L1Hits    uint64 `json:"l1_hits"`
+	L1Misses  uint64 `json:"l1_misses"`
+	LLCHits   uint64 `json:"llc_hits"`
+	LLCMisses uint64 `json:"llc_misses"`
 }
 
 // Stats aggregates counters for a simulated system.
 type Stats struct {
-	Cores []CoreStats
+	Cores []CoreStats `json:"cores"`
 
 	// Memory traffic in bytes, by cause.
-	LogBytes        uint64 // redo/undo/commit/abort records and overflow-list entries
-	DataWriteBytes  uint64 // in-place data writes to NVM
-	DataReadBytes   uint64 // line fills from NVM
-	LogRecords      uint64
-	SentinelRecords uint64
-	OverflowedLines uint64 // write-set lines that overflowed L1 -> LLC
+	LogBytes        uint64 `json:"log_bytes"`        // redo/undo/commit/abort records and overflow-list entries
+	DataWriteBytes  uint64 `json:"data_write_bytes"` // in-place data writes to NVM
+	DataReadBytes   uint64 `json:"data_read_bytes"`  // line fills from NVM
+	LogRecords      uint64 `json:"log_records"`
+	SentinelRecords uint64 `json:"sentinel_records"`
+	OverflowedLines uint64 `json:"overflowed_lines"` // write-set lines that overflowed L1 -> LLC
 }
 
 // New returns a Stats sized for n cores.

@@ -10,16 +10,21 @@ import (
 	"dhtm/internal/txn"
 )
 
-// RunResult is the outcome of driving one (design, workload) pair.
+// RunResult is the outcome of driving one (design, workload) pair. The json
+// tags fix the on-disk record format of the result store; renaming a field
+// without bumping resultstore.FormatVersion makes old records decode with
+// that field silently zeroed — served as valid cache hits with wrong
+// numbers, not recomputed. Bump the version (and regenerate the golden
+// file) instead.
 type RunResult struct {
-	Design   string
-	Workload string
-	Stats    *stats.Stats
+	Design   string       `json:"design"`
+	Workload string       `json:"workload"`
+	Stats    *stats.Stats `json:"stats,omitempty"`
 	// Committed is the number of transactions that reached their commit
 	// point; with the default driver it equals Cores*TxPerCore.
-	Committed uint64
+	Committed uint64 `json:"committed"`
 	// Cycles is the makespan of the run.
-	Cycles uint64
+	Cycles uint64 `json:"cycles"`
 }
 
 // Throughput returns committed transactions per million cycles.

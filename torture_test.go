@@ -1,6 +1,7 @@
 package dhtm_test
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -23,7 +24,7 @@ func TestTortureExhaustive(t *testing.T) {
 			design, workload := design, workload
 			t.Run(design+"/"+workload, func(t *testing.T) {
 				t.Parallel()
-				rep, err := crashtest.Torture(crashtest.Config{
+				rep, err := crashtest.Torture(context.Background(), crashtest.Config{
 					Design: design, Workload: workload,
 					Cores: 4, TxPerCore: 2, OpsPerTx: 8,
 					Points: sel,
@@ -71,7 +72,7 @@ func TestTortureTorn(t *testing.T) {
 		design := design
 		t.Run(design, func(t *testing.T) {
 			t.Parallel()
-			if _, err := crashtest.Torture(crashtest.Config{
+			if _, err := crashtest.Torture(context.Background(), crashtest.Config{
 				Design: design, Workload: "queue",
 				Cores: 4, TxPerCore: 2, OpsPerTx: 8, Torn: true,
 				Points: crashtest.Selection{Mode: "stride", Samples: 96},
@@ -91,14 +92,14 @@ func TestTortureReproducesPoint(t *testing.T) {
 		Design: "DHTM", Workload: "queue",
 		Cores: 4, TxPerCore: 2, OpsPerTx: 8, Torn: true,
 	}
-	probe, err := crashtest.Explore(withPoints(cfg, crashtest.Selection{Mode: "stride", Samples: 1}))
+	probe, err := crashtest.Explore(context.Background(), withPoints(cfg, crashtest.Selection{Mode: "stride", Samples: 1}))
 	if err != nil {
 		t.Fatal(err)
 	}
 	point := probe.TotalPoints / 2
 	var runs []*crashtest.Report
 	for i := 0; i < 2; i++ {
-		rep, err := crashtest.Explore(withPoints(cfg, crashtest.Selection{Mode: "point", Point: point}))
+		rep, err := crashtest.Explore(context.Background(), withPoints(cfg, crashtest.Selection{Mode: "point", Point: point}))
 		if err != nil {
 			t.Fatal(err)
 		}
