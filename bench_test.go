@@ -16,6 +16,7 @@ import (
 	"dhtm/internal/harness"
 	"dhtm/internal/memdev"
 	"dhtm/internal/palloc"
+	"dhtm/internal/registry"
 	"dhtm/internal/runner"
 	"dhtm/internal/workloads"
 )
@@ -128,10 +129,10 @@ func BenchmarkAllDesignsOnHash(b *testing.B) {
 // BenchmarkWorkloadGeneration measures transaction generation alone (setup
 // plus Next), confirming it is negligible next to the simulation itself.
 func BenchmarkWorkloadGeneration(b *testing.B) {
-	for _, name := range workloads.MicroNames() {
+	for _, name := range registry.MicroWorkloadNames() {
 		name := name
 		b.Run(name, func(b *testing.B) {
-			w, err := workloads.New(name)
+			w, err := registry.NewWorkload(name)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -18,10 +18,16 @@
 //	dhtm-bench -list           # list experiments
 //	dhtm-bench -store results/ # persist cell results; warm re-runs simulate nothing
 //	dhtm-bench -cpuprofile cpu.out -memprofile mem.out   # profile the run
+//	dhtm-bench -scenario examples/scenarios/table4-quick.json
 //
 // A failing experiment no longer aborts the run: every selected experiment
 // executes, successful tables render, failures are reported together at the
 // end, and the exit status is non-zero if anything failed.
+//
+// With -scenario the selection and scaling knobs come from a declarative
+// scenario file (experiment or sweep mode) instead of flags, and the output
+// is exactly the rendered tables — byte-identical to what dhtm-serve's
+// /api/v1/jobs/{id}/tables endpoint returns for the same file.
 package main
 
 import (
@@ -41,6 +47,7 @@ import (
 	"dhtm/internal/harness"
 	"dhtm/internal/resultstore"
 	"dhtm/internal/runner"
+	"dhtm/internal/scenario"
 )
 
 // experimentResult is one experiment's entry in the -json document.
@@ -78,6 +85,7 @@ func run() int {
 	progress := flag.Bool("progress", false, "report per-cell completion on stderr")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	storeDir := flag.String("store", "", "read/write cell results through a content-addressed result store rooted at this directory (makes interrupted campaigns resumable)")
+	scenarioPath := flag.String("scenario", "", "run an experiment- or sweep-mode scenario file; output is the rendered tables, byte-identical to dhtm-serve's /tables for the same file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	flag.Parse()
@@ -127,6 +135,15 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "dhtm-bench: -json and -csv are mutually exclusive")
 		return 2
 	}
+	if *scenarioPath != "" {
+		// The scenario file owns the selection and scaling knobs; flags that
+		// would silently fight it are rejected rather than ignored.
+		if conflict := scenario.FlagConflict("exp", "quick", "tx", "cores", "json", "csv"); conflict != "" {
+			fmt.Fprintf(os.Stderr, "dhtm-bench: -%s cannot be combined with -scenario (the scenario file pins it)\n", conflict)
+			return 2
+		}
+		return runScenario(ctx, *scenarioPath, *parallel, *seed, *storeDir, *progress)
+	}
 
 	opts := harness.Options{
 		Quick: *quick, TxPerCore: *tx, Cores: *cores, Out: os.Stdout,
@@ -142,18 +159,7 @@ func run() int {
 		opts.Store = store
 	}
 	if *progress {
-		opts.Progress = func(ev runner.ProgressEvent) {
-			status := "ok"
-			if ev.Result.Cached {
-				status = "cached"
-			}
-			if ev.Result.Err != nil {
-				status = "FAILED: " + ev.Result.Err.Error()
-			}
-			fmt.Fprintf(os.Stderr, "  [%d/%d] %-32s %8v  %s\n",
-				ev.Done, ev.Total, ev.Result.Cell.ID,
-				ev.Result.Elapsed.Round(time.Millisecond), status)
-		}
+		opts.Progress = progressLine
 	}
 
 	var selected []harness.Experiment
@@ -243,6 +249,113 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// runScenario loads, compiles and executes a scenario file. Stdout carries
+// exactly the rendered tables — the same bytes dhtm-serve's /tables endpoint
+// returns for the same document — so CLI and service runs are diffable.
+// Operational knobs (-parallel, -progress, -store, -seed) still apply; the
+// scenario pins everything semantic.
+func runScenario(ctx context.Context, path string, parallel int, seed int64, storeDir string, progress bool) int {
+	doc, err := scenario.Load(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dhtm-bench: %v\n", err)
+		return 2
+	}
+	if doc.Mode == scenario.ModeCrashtest {
+		fmt.Fprintf(os.Stderr, "dhtm-bench: %s: crashtest scenarios run under dhtm-crashtest -scenario\n", path)
+		return 2
+	}
+	compiled, err := doc.Compile()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dhtm-bench: %v\n", err)
+		return 2
+	}
+	if seed == 0 {
+		seed = compiled.Seed
+	}
+	if storeDir == "" {
+		storeDir = doc.Store
+	}
+	var store *resultstore.Store
+	if storeDir != "" {
+		if store, err = resultstore.Open(storeDir, resultstore.Options{}); err != nil {
+			fmt.Fprintf(os.Stderr, "dhtm-bench: %v\n", err)
+			return 1
+		}
+	}
+	var onProgress func(runner.ProgressEvent)
+	if progress {
+		onProgress = progressLine
+	}
+
+	code := 0
+	switch doc.Mode {
+	case scenario.ModeExperiment:
+		opts := compiled.Options
+		opts.Out = os.Stdout
+		opts.Parallel = parallel
+		opts.Seed = seed
+		opts.Progress = onProgress
+		opts.Store = store
+		for _, e := range compiled.Experiments {
+			rs, err := e.RunGrid(ctx, opts)
+			var table *harness.Table
+			if err == nil {
+				if err = rs.Err(); err == nil {
+					table, err = e.Reduce(opts, rs)
+				}
+			}
+			if err != nil {
+				// The same failure line /tables renders, so even failing runs
+				// stay diffable against the service.
+				harness.RenderFailure(os.Stdout, e.ID, err.Error())
+				fmt.Fprintf(os.Stderr, "dhtm-bench: %s failed: %v\n", e.ID, err)
+				code = 1
+				continue
+			}
+			table.Render(os.Stdout)
+		}
+	case scenario.ModeSweep:
+		plan := compiled.Plan
+		plan.Store = store
+		rs, err := runner.Run(ctx, plan, harness.Execute, runner.Options{
+			Parallel: parallel, Seed: seed, Progress: onProgress,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dhtm-bench: %v\n", err)
+			return 1
+		}
+		scenario.SweepTable(plan.Name, scenario.SweepOutcomes(rs)).Render(os.Stdout)
+		if rs.Err() != nil {
+			code = 1
+		}
+	}
+
+	if store != nil {
+		m := store.Metrics()
+		fmt.Fprintf(os.Stderr, "dhtm-bench: store %s: %d hits (%d mem, %d disk), %d misses, %d simulated, %d shared, %d written, %d corrupt\n",
+			store.Dir(), m.Hits(), m.MemHits, m.DiskHits, m.Misses, m.Computes, m.Shared, m.Writes, m.Corrupt)
+	}
+	if err := ctx.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "dhtm-bench: interrupted; partial results above, re-run with the same -store to resume")
+		return 1
+	}
+	return code
+}
+
+// progressLine is the -progress per-cell report.
+func progressLine(ev runner.ProgressEvent) {
+	status := "ok"
+	if ev.Result.Cached {
+		status = "cached"
+	}
+	if ev.Result.Err != nil {
+		status = "FAILED: " + ev.Result.Err.Error()
+	}
+	fmt.Fprintf(os.Stderr, "  [%d/%d] %-32s %8v  %s\n",
+		ev.Done, ev.Total, ev.Result.Cell.ID,
+		ev.Result.Elapsed.Round(time.Millisecond), status)
 }
 
 // cellsOf extracts the executed cells (with derived seeds) for the JSON

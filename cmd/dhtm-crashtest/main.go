@@ -12,6 +12,7 @@
 //	dhtm-crashtest -design DHTM,ATOM -workload hash,queue -mode stride -samples 64
 //	dhtm-crashtest -design DHTM -workload queue -torn -mode random -samples 128
 //	dhtm-crashtest -design DHTM -workload hash -point 1234      # one point
+//	dhtm-crashtest -scenario examples/scenarios/crashtest-quick.json
 package main
 
 import (
@@ -28,7 +29,8 @@ import (
 	"time"
 
 	"dhtm/internal/crashtest"
-	"dhtm/internal/workloads"
+	"dhtm/internal/registry"
+	"dhtm/internal/scenario"
 )
 
 func main() {
@@ -46,35 +48,69 @@ func main() {
 	parallel := flag.Int("parallel", 0, "points to explore concurrently (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON reports on stdout")
 	progress := flag.Bool("progress", false, "log per-point completion to stderr")
+	scenarioPath := flag.String("scenario", "", "run a crashtest-mode scenario file instead of -design/-workload (see examples/scenarios)")
 	flag.Parse()
 
-	designs := splitList(*design)
-	wls := splitList(*workload)
-	if len(designs) == 0 || len(wls) == 0 {
-		misuse("-design and -workload must each name at least one entry")
-	}
-	// Validate every combo up front so a typo in a later list entry cannot
-	// discard the reports of sweeps that already ran (repo convention:
-	// successes still render before a non-zero exit).
-	for _, d := range designs {
-		if !supported(d) {
-			misuse("design %q is not supported (supported: %s)", d, strings.Join(crashtest.Supported(), ", "))
+	var configs []crashtest.Config
+	if *scenarioPath != "" {
+		// The scenario file owns the semantic knobs; flags that would
+		// silently fight it are rejected rather than ignored.
+		if conflict := scenario.FlagConflict("design", "workload", "cores", "tx", "ops",
+			"seed", "mode", "stride", "samples", "point", "torn"); conflict != "" {
+			misuse("-%s cannot be combined with -scenario (the scenario file pins it)", conflict)
 		}
-	}
-	for _, w := range wls {
-		if _, err := workloads.New(w); err != nil {
+		doc, err := scenario.Load(*scenarioPath)
+		if err != nil {
 			misuse("%v", err)
 		}
-	}
-	if *mode == "point" {
-		misuse("select a single crash point with -point N, not -mode point")
-	}
-	sel := crashtest.Selection{Mode: *mode, Stride: *stride, Samples: *samples}
-	if *point >= 0 {
-		if len(designs) > 1 || len(wls) > 1 {
-			misuse("-point repro mode requires a single design and workload")
+		if doc.Mode != scenario.ModeCrashtest {
+			misuse("%s: mode %q: dhtm-crashtest runs crashtest scenarios (experiment mode runs under dhtm-bench -scenario, sweep mode under dhtm-sim -scenario)", *scenarioPath, doc.Mode)
 		}
-		sel = crashtest.Selection{Mode: "point", Point: *point}
+		compiled, err := doc.Compile()
+		if err != nil {
+			misuse("%v", err)
+		}
+		configs = compiled.Crashtests
+	} else {
+		designs := splitList(*design)
+		wls := splitList(*workload)
+		if len(designs) == 0 || len(wls) == 0 {
+			misuse("-design and -workload must each name at least one entry")
+		}
+		// Validate every combo up front so a typo in a later list entry cannot
+		// discard the reports of sweeps that already ran (repo convention:
+		// successes still render before a non-zero exit).
+		for _, d := range designs {
+			if err := registry.CheckDesign(d); err != nil {
+				misuse("%v", err)
+			}
+			if !supported(d) {
+				misuse("design %q is not supported by the crash-point explorer (supported: %s)", d, strings.Join(crashtest.Supported(), ", "))
+			}
+		}
+		for _, w := range wls {
+			if err := registry.CheckWorkload(w); err != nil {
+				misuse("%v", err)
+			}
+		}
+		if *mode == "point" {
+			misuse("select a single crash point with -point N, not -mode point")
+		}
+		sel := crashtest.Selection{Mode: *mode, Stride: *stride, Samples: *samples}
+		if *point >= 0 {
+			if len(designs) > 1 || len(wls) > 1 {
+				misuse("-point repro mode requires a single design and workload")
+			}
+			sel = crashtest.Selection{Mode: "point", Point: *point}
+		}
+		for _, d := range designs {
+			for _, w := range wls {
+				configs = append(configs, crashtest.Config{
+					Design: d, Workload: w, Cores: *cores, TxPerCore: *tx, OpsPerTx: *ops,
+					Seed: *seed, Torn: *torn, Points: sel,
+				})
+			}
+		}
 	}
 
 	// Ctrl-C cancels the exploration after the in-flight points finish.
@@ -83,34 +119,29 @@ func main() {
 
 	var reports []*crashtest.Report
 	failed := false
-	for _, d := range designs {
-		for _, w := range wls {
-			cfg := crashtest.Config{
-				Design: d, Workload: w, Cores: *cores, TxPerCore: *tx, OpsPerTx: *ops,
-				Seed: *seed, Torn: *torn, Points: sel, Parallel: *parallel,
-			}
-			if *progress {
-				name := d + "/" + w
-				cfg.Progress = func(done, total int) {
-					if done%64 == 0 || done == total {
-						fmt.Fprintf(os.Stderr, "%s: %d/%d points\n", name, done, total)
-					}
+	for _, cfg := range configs {
+		cfg.Parallel = *parallel
+		name := cfg.Design + "/" + cfg.Workload
+		if *progress {
+			cfg.Progress = func(done, total int) {
+				if done%64 == 0 || done == total {
+					fmt.Fprintf(os.Stderr, "%s: %d/%d points\n", name, done, total)
 				}
 			}
-			rep, err := crashtest.Explore(ctx, cfg)
-			if errors.Is(err, context.Canceled) {
-				fail("%s/%s: interrupted", d, w)
-			}
-			if err != nil {
-				fail("%s/%s: %v", d, w, err)
-			}
-			reports = append(reports, rep)
-			if rep.Failed > 0 {
-				failed = true
-			}
-			if !*jsonOut {
-				render(rep)
-			}
+		}
+		rep, err := crashtest.Explore(ctx, cfg)
+		if errors.Is(err, context.Canceled) {
+			fail("%s: interrupted", name)
+		}
+		if err != nil {
+			fail("%s: %v", name, err)
+		}
+		reports = append(reports, rep)
+		if rep.Failed > 0 {
+			failed = true
+		}
+		if !*jsonOut {
+			render(rep)
 		}
 	}
 

@@ -11,6 +11,7 @@
 // Submit a campaign, watch it, fetch its tables:
 //
 //	curl -s localhost:8080/api/v1/jobs -d '{"kind":"experiment","experiments":["table4"],"quick":true}'
+//	curl -s localhost:8080/api/v1/jobs -d @examples/scenarios/table4-quick.json   # same endpoint, scenario file
 //	curl -s localhost:8080/api/v1/jobs/job-000001            # poll
 //	curl -N localhost:8080/api/v1/jobs/job-000001/events     # SSE stream
 //	curl -s localhost:8080/api/v1/jobs/job-000001/tables     # rendered tables

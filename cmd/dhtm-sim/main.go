@@ -13,6 +13,7 @@
 //	dhtm-sim -design DHTM -workload queue -crash -image crash.img
 //	dhtm-sim -design ATOM -workload tpcc -cores 4 -tx 4
 //	dhtm-sim -design SO,ATOM,DHTM -workload hash,queue -parallel 4 -json
+//	dhtm-sim -scenario examples/scenarios/micro-quick.json
 package main
 
 import (
@@ -29,7 +30,10 @@ import (
 	"dhtm/internal/config"
 	"dhtm/internal/harness"
 	"dhtm/internal/recovery"
+	"dhtm/internal/registry"
+	"dhtm/internal/resultstore"
 	"dhtm/internal/runner"
+	"dhtm/internal/scenario"
 	"dhtm/internal/txn"
 	"dhtm/internal/workloads"
 )
@@ -47,8 +51,8 @@ type cellReport struct {
 }
 
 func main() {
-	design := flag.String("design", harness.DesignDHTM, "design(s) to run, comma separated (SO, sdTM, ATOM, LogTM-ATOM, NP, DHTM, DHTM-instant, DHTM-L1, DHTM-nobuf)")
-	workload := flag.String("workload", "hash", "workload(s) to run, comma separated (queue, hash, sdg, sps, btree, rbtree, tatp, tpcc)")
+	design := flag.String("design", registry.DesignDHTM, "design(s) to run, comma separated ("+strings.Join(registry.DesignNames(), ", ")+")")
+	workload := flag.String("workload", "hash", "workload(s) to run, comma separated ("+strings.Join(registry.WorkloadNames(), ", ")+")")
 	tx := flag.Int("tx", 16, "transactions per core")
 	cores := flag.Int("cores", 0, "number of cores (0 = 8)")
 	logBuf := flag.Int("logbuf", 0, "DHTM log-buffer entries (0 = configured default of 64)")
@@ -59,6 +63,7 @@ func main() {
 	crash := flag.Bool("crash", false, "crash at the last commit point instead of finishing cleanly")
 	image := flag.String("image", "", "write the persistent-memory image to this file (with -crash)")
 	recoverFlag := flag.Bool("recover", false, "run the recovery manager in-process after a crash and verify the workload")
+	scenarioPath := flag.String("scenario", "", "run a sweep-mode scenario file instead of -design/-workload (see examples/scenarios)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
 
@@ -82,6 +87,17 @@ func main() {
 		defer stopProfile()
 	}
 
+	if *scenarioPath != "" {
+		// The scenario file owns the semantic knobs; flags that would
+		// silently fight it are rejected rather than ignored.
+		if conflict := scenario.FlagConflict("design", "workload", "tx", "cores",
+			"logbuf", "bw", "crash", "image", "recover"); conflict != "" {
+			fail("-%s cannot be combined with -scenario (the scenario file pins it)", conflict)
+		}
+		runScenario(*scenarioPath, *seed, *parallel, *jsonOut)
+		return
+	}
+
 	designs := splitList(*design)
 	wls := splitList(*workload)
 	if len(designs) == 0 {
@@ -89,6 +105,18 @@ func main() {
 	}
 	if len(wls) == 0 {
 		fail("-workload names no workloads")
+	}
+	// Validate every name up front against the registry, so a typo dies with
+	// the full listing instead of surfacing later as a per-cell failure.
+	for _, d := range designs {
+		if err := registry.CheckDesign(d); err != nil {
+			fail("%v", err)
+		}
+	}
+	for _, w := range wls {
+		if err := registry.CheckWorkload(w); err != nil {
+			fail("%v", err)
+		}
 	}
 	if *bw <= 0 {
 		fail("bandwidth scale must be positive, got %g", *bw)
@@ -115,15 +143,63 @@ func main() {
 			})
 		}
 	}
+	if !runSweep(plan, *seed, *parallel, *jsonOut) {
+		stopProfile()
+		os.Exit(1)
+	}
+}
+
+// runScenario compiles a sweep-mode scenario document and runs its plan
+// exactly as an inline -design/-workload sweep would, honouring the
+// document's result-store setting so interrupted campaigns stay resumable.
+func runScenario(path string, seed int64, parallel int, jsonOut bool) {
+	doc, err := scenario.Load(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	if doc.Mode != scenario.ModeSweep {
+		fail("%s: mode %q: dhtm-sim runs sweep scenarios (experiment mode runs under dhtm-bench -scenario, crashtest mode under dhtm-crashtest -scenario)", path, doc.Mode)
+	}
+	compiled, err := doc.Compile()
+	if err != nil {
+		fail("%v", err)
+	}
+	if seed == 0 {
+		seed = compiled.Seed
+	}
+	plan := compiled.Plan
+	var store *resultstore.Store
+	if doc.Store != "" {
+		if store, err = resultstore.Open(doc.Store, resultstore.Options{}); err != nil {
+			fail("%v", err)
+		}
+		plan.Store = store
+	}
+	ok := runSweep(plan, seed, parallel, jsonOut)
+	if store != nil {
+		m := store.Metrics()
+		fmt.Fprintf(os.Stderr, "dhtm-sim: store %s: %d hits (%d mem, %d disk), %d misses, %d simulated, %d written\n",
+			store.Dir(), m.Hits(), m.MemHits, m.DiskHits, m.Misses, m.Computes, m.Writes)
+	}
+	if !ok {
+		stopProfile()
+		os.Exit(1)
+	}
+}
+
+// runSweep executes a cell plan and reports per-cell results (the shared
+// tail of the comma-separated sweep mode and -scenario mode). It reports
+// whether every cell succeeded.
+func runSweep(plan runner.Plan, seed int64, parallel int, jsonOut bool) bool {
 	// Ctrl-C cancels the sweep; cells not yet started report ErrCancelled.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	rs, err := runner.Run(ctx, plan, harness.Execute, runner.Options{Parallel: *parallel, Seed: *seed})
+	rs, err := runner.Run(ctx, plan, harness.Execute, runner.Options{Parallel: parallel, Seed: seed})
 	if err != nil {
 		fail("%v", err)
 	}
 
-	if *jsonOut {
+	if jsonOut {
 		reports := make([]cellReport, len(rs.Results))
 		for i, r := range rs.Results {
 			reports[i] = cellReport{Cell: r.Cell}
@@ -154,10 +230,7 @@ func main() {
 				r.Run.Stats.AbortRate()*100)
 		}
 	}
-	if rs.Err() != nil {
-		stopProfile()
-		os.Exit(1)
-	}
+	return rs.Err() == nil
 }
 
 // runSingle preserves the original detailed single-run path, including crash
@@ -173,11 +246,11 @@ func runSingle(design, workload string, tx, cores int, seed int64, ov runner.Ove
 	if err != nil {
 		fail("building environment: %v", err)
 	}
-	rt, err := harness.NewRuntime(env, design)
+	rt, err := registry.NewRuntime(env, design)
 	if err != nil {
 		fail("%v", err)
 	}
-	w, err := workloads.New(workload)
+	w, err := registry.NewWorkload(workload)
 	if err != nil {
 		fail("%v", err)
 	}

@@ -9,6 +9,7 @@ import (
 	"dhtm/internal/config"
 	"dhtm/internal/core"
 	"dhtm/internal/recovery"
+	"dhtm/internal/registry"
 	"dhtm/internal/txn"
 	"dhtm/internal/workloads"
 )
@@ -78,7 +79,7 @@ func TestCrashRecoveryBankInvariant(t *testing.T) {
 // complete, recovers, and checks the workload's own structural invariants
 // against the durable image.
 func TestCrashRecoveryWorkloads(t *testing.T) {
-	names := append([]string{}, workloads.MicroNames()...)
+	names := append([]string{}, registry.MicroWorkloadNames()...)
 	names = append(names, "tatp")
 	for _, name := range names {
 		name := name
@@ -91,7 +92,7 @@ func TestCrashRecoveryWorkloads(t *testing.T) {
 				t.Fatalf("NewEnv: %v", err)
 			}
 			rt := core.New(env, core.Options{})
-			w, err := workloads.New(name)
+			w, err := registry.NewWorkload(name)
 			if err != nil {
 				t.Fatalf("New(%q): %v", name, err)
 			}

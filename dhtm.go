@@ -24,13 +24,12 @@ package dhtm
 import (
 	"fmt"
 
-	"dhtm/internal/baselines"
 	"dhtm/internal/config"
-	"dhtm/internal/core"
 	"dhtm/internal/engine"
 	"dhtm/internal/memdev"
 	"dhtm/internal/palloc"
 	"dhtm/internal/recovery"
+	"dhtm/internal/registry"
 	"dhtm/internal/stats"
 	"dhtm/internal/txn"
 )
@@ -38,17 +37,56 @@ import (
 // Design selects the transactional-memory design a System runs.
 type Design string
 
-// The evaluated designs (§V of the paper).
+// The evaluated designs (§V of the paper). The names are re-exported from
+// internal/registry — the one catalog NewSystem, the harness, the CLIs and
+// dhtm-serve all resolve against — so the public set cannot drift from what
+// the rest of the tree runs.
 const (
-	DHTM        Design = "DHTM"
-	DHTMInstant Design = "DHTM-instant"
-	DHTML1      Design = "DHTM-L1"
-	SO          Design = "SO"
-	SdTM        Design = "sdTM"
-	ATOM        Design = "ATOM"
-	LogTMATOM   Design = "LogTM-ATOM"
-	NP          Design = "NP"
+	DHTM        Design = registry.DesignDHTM
+	DHTMInstant Design = registry.DesignDHTMInstant
+	DHTML1      Design = registry.DesignDHTML1
+	DHTMNoBuf   Design = registry.DesignDHTMNoBuf
+	SO          Design = registry.DesignSO
+	SdTM        Design = registry.DesignSdTM
+	ATOM        Design = registry.DesignATOM
+	LogTMATOM   Design = registry.DesignLogTMATOM
+	NP          Design = registry.DesignNP
 )
+
+// Designs lists every design NewSystem accepts, in the order of the paper.
+func Designs() []Design {
+	names := registry.DesignNames()
+	out := make([]Design, len(names))
+	for i, n := range names {
+		out[i] = Design(n)
+	}
+	return out
+}
+
+// DesignCatalog describes one runnable design: its name, a one-line
+// description, classification tags and whether the crash-point explorer
+// supports it. It mirrors what dhtm-serve's /api/v1/catalog returns.
+type DesignCatalog struct {
+	Name        Design
+	Description string
+	Tags        []string
+	CrashSafe   bool
+}
+
+// Catalog returns the self-describing design catalog.
+func Catalog() []DesignCatalog {
+	ds := registry.Designs()
+	out := make([]DesignCatalog, len(ds))
+	for i, d := range ds {
+		out[i] = DesignCatalog{
+			Name:        Design(d.Name),
+			Description: d.Description,
+			Tags:        d.Tags,
+			CrashSafe:   d.CrashSafe,
+		}
+	}
+	return out
+}
 
 // Config selects the machine and design parameters. The zero value gives the
 // paper's Table III machine running the DHTM design.
@@ -127,26 +165,9 @@ func NewSystem(cfg Config) (*System, error) {
 	if design == "" {
 		design = DHTM
 	}
-	var rt txn.Runtime
-	switch design {
-	case DHTM:
-		rt = core.New(env, core.Options{})
-	case DHTMInstant:
-		rt = core.New(env, core.Options{InstantPersist: true})
-	case DHTML1:
-		rt = core.New(env, core.Options{DisableOverflow: true})
-	case SO:
-		rt = baselines.NewSO(env)
-	case SdTM:
-		rt = baselines.NewSdTM(env)
-	case ATOM:
-		rt = baselines.NewATOM(env)
-	case LogTMATOM:
-		rt = baselines.NewLogTMATOM(env)
-	case NP:
-		rt = baselines.NewNP(env)
-	default:
-		return nil, fmt.Errorf("dhtm: unknown design %q", design)
+	rt, err := registry.NewRuntime(env, string(design))
+	if err != nil {
+		return nil, fmt.Errorf("dhtm: %w", err)
 	}
 	return &System{env: env, runtime: rt, design: design, heap: palloc.New(env.Store())}, nil
 }

@@ -36,7 +36,7 @@ import (
 	"sync"
 	"time"
 
-	"dhtm/internal/harness"
+	"dhtm/internal/registry"
 	"dhtm/internal/runner"
 )
 
@@ -88,16 +88,42 @@ type Config struct {
 	Progress func(done, total int) `json:"-"`
 }
 
-// Supported lists the designs the explorer accepts: those whose durability
-// goes through the hardware write-ahead logs that recovery.Recover replays.
-// SO and sdTM model Mnemosyne-style software logging whose in-place
-// persistence is deferred past the simulated window (their logs truncate
-// before data reaches memory), so arbitrary-point recovery is undefined for
-// them by construction; NP is volatile; DHTM-nobuf emits word-granular
-// records whose line-aligned case recovery cannot yet distinguish from full
-// lines.
+// Supported lists the designs the explorer accepts: those the registry
+// marks crash-safe, i.e. whose durability goes through the hardware
+// write-ahead logs that recovery.Recover replays. SO and sdTM model
+// Mnemosyne-style software logging whose in-place persistence is deferred
+// past the simulated window (their logs truncate before data reaches
+// memory), so arbitrary-point recovery is undefined for them by
+// construction; NP is volatile; DHTM-nobuf emits word-granular records
+// whose line-aligned case recovery cannot yet distinguish from full lines.
 func Supported() []string {
-	return []string{harness.DesignDHTM, harness.DesignDHTML1, harness.DesignATOM, harness.DesignLogTMATOM}
+	return registry.CrashSafeDesignNames()
+}
+
+// Validate rejects selections that could never resolve against any
+// persist-event space — the pre-run subset of pickPoints' checks, so
+// submit-time validation (scenario compilation, serve job specs) can fail
+// fast instead of queueing an exploration that dies after its counting
+// pass.
+func (s Selection) Validate() error {
+	switch s.Mode {
+	case "", "all":
+	case "stride":
+		if s.Stride <= 0 && s.Samples <= 0 {
+			return fmt.Errorf("crashtest: stride selection needs Stride or Samples")
+		}
+	case "random":
+		if s.Samples <= 0 {
+			return fmt.Errorf("crashtest: random selection needs Samples > 0")
+		}
+	case "point":
+		if s.Point < 0 {
+			return fmt.Errorf("crashtest: point selection needs Point >= 0")
+		}
+	default:
+		return fmt.Errorf("crashtest: unknown selection mode %q (valid: all, stride, random, point)", s.Mode)
+	}
+	return nil
 }
 
 // withDefaults fills unset fields.
@@ -119,6 +145,9 @@ func (c Config) withDefaults() Config {
 
 // validate rejects configurations the explorer cannot torture meaningfully.
 func (c Config) validate() error {
+	if err := c.Points.Validate(); err != nil {
+		return err
+	}
 	for _, d := range Supported() {
 		if c.Design == d {
 			return nil

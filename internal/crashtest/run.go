@@ -4,9 +4,9 @@ import (
 	"fmt"
 
 	"dhtm/internal/config"
-	"dhtm/internal/harness"
 	"dhtm/internal/memdev"
 	"dhtm/internal/recovery"
+	"dhtm/internal/registry"
 	"dhtm/internal/runner"
 	"dhtm/internal/txn"
 	"dhtm/internal/workloads"
@@ -103,11 +103,11 @@ func (c Config) runOnce(seed int64, arm func(*txn.Env) (memdev.PersistObserver, 
 	if err != nil {
 		return nil, nil, err
 	}
-	rt, err := harness.NewRuntime(env, c.Design)
+	rt, err := registry.NewRuntime(env, c.Design)
 	if err != nil {
 		return nil, nil, err
 	}
-	w, err := workloads.New(c.Workload)
+	w, err := registry.NewWorkload(c.Workload)
 	if err != nil {
 		return nil, nil, err
 	}

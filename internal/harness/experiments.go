@@ -5,8 +5,8 @@ import (
 	"math"
 
 	"dhtm/internal/config"
+	"dhtm/internal/registry"
 	"dhtm/internal/runner"
-	"dhtm/internal/workloads"
 )
 
 // Every experiment below is a (plan, reduce) pair. The plan lays out the
@@ -17,11 +17,17 @@ import (
 // run.
 
 // isOLTP reports whether a workload uses the OLTP transaction budget.
-func isOLTP(name string) bool { return name == "tpcc" || name == "tatp" }
+func isOLTP(name string) bool {
+	w, ok := registry.LookupWorkload(name)
+	return ok && w.OLTP
+}
+
+// microNames lists the six micro-benchmarks in paper plot order.
+func microNames() []string { return registry.MicroWorkloadNames() }
 
 // table4Names lists Table IV's workloads in paper order.
 func table4Names() []string {
-	return append([]string{"tpcc", "tatp"}, workloads.MicroNames()...)
+	return append(registry.WorkloadNamesByTag(registry.TagOLTP), microNames()...)
 }
 
 // planTable4 lays out Table IV: every workload once, on the volatile NP
@@ -68,7 +74,7 @@ func reduceTable4(o Options, rs *runner.ResultSet) (*Table, error) {
 // addMicroGrid adds one cell per (design, micro-benchmark) pair.
 func addMicroGrid(p *runner.Plan, o Options, designs []string) {
 	for _, d := range designs {
-		for _, w := range workloads.MicroNames() {
+		for _, w := range microNames() {
 			p.Add(o.cell(d, w, false, runner.Overrides{}))
 		}
 	}
@@ -78,7 +84,7 @@ func addMicroGrid(p *runner.Plan, o Options, designs []string) {
 // out of a completed grid.
 func microThroughput(rs *runner.ResultSet, design string) (map[string]float64, error) {
 	th := make(map[string]float64)
-	for _, w := range workloads.MicroNames() {
+	for _, w := range microNames() {
 		res, err := rs.Run(design + "/" + w)
 		if err != nil {
 			return nil, err
@@ -111,7 +117,7 @@ func reduceFigure5(o Options, rs *runner.ResultSet) (*Table, error) {
 	t := &Table{
 		ID:      "Figure 5",
 		Title:   "Transaction throughput normalized to SO",
-		Columns: append([]string{"design"}, append(workloads.MicroNames(), "geo-mean")...),
+		Columns: append([]string{"design"}, append(microNames(), "geo-mean")...),
 		Notes: []string{
 			"paper averages: sdTM 1.20, ATOM 1.35, LogTM-ATOM 1.44, DHTM 1.61",
 			"expected ordering: SO < sdTM < ATOM < LogTM-ATOM < DHTM",
@@ -124,7 +130,7 @@ func reduceFigure5(o Options, rs *runner.ResultSet) (*Table, error) {
 		}
 		row := []string{d}
 		prod, n := 1.0, 0
-		for _, w := range workloads.MicroNames() {
+		for _, w := range microNames() {
 			ratio := ratioTo(th[w], so[w])
 			row = append(row, fmtRatio(ratio))
 			prod *= ratio
@@ -148,7 +154,7 @@ func reduceTable5(o Options, rs *runner.ResultSet) (*Table, error) {
 	t := &Table{
 		ID:      "Table V",
 		Title:   "Abort rates (%) for sdTM and DHTM",
-		Columns: append([]string{"design"}, append(workloads.MicroNames(), "mean")...),
+		Columns: append([]string{"design"}, append(microNames(), "mean")...),
 		Notes: []string{
 			"paper: sdTM 68/19/23/27/37/46 (avg 37), DHTM 46/5/13/16/18/26 (avg 21)",
 			"expected shape: DHTM aborts less than sdTM on every workload; queue is the worst case",
@@ -157,7 +163,7 @@ func reduceTable5(o Options, rs *runner.ResultSet) (*Table, error) {
 	for _, d := range []string{DesignSdTM, DesignDHTM} {
 		row := []string{d}
 		var sum float64
-		for _, w := range workloads.MicroNames() {
+		for _, w := range microNames() {
 			res, err := rs.Run(d + "/" + w)
 			if err != nil {
 				return nil, err
@@ -166,7 +172,7 @@ func reduceTable5(o Options, rs *runner.ResultSet) (*Table, error) {
 			row = append(row, fmtPercent(rate))
 			sum += rate
 		}
-		row = append(row, fmtPercent(sum/float64(len(workloads.MicroNames()))))
+		row = append(row, fmtPercent(sum/float64(len(microNames()))))
 		t.Rows = append(t.Rows, row)
 	}
 	return t, nil
@@ -347,7 +353,7 @@ func reduceDurability(o Options, rs *runner.ResultSet) (*Table, error) {
 			return nil, err
 		}
 		prod, n := 1.0, 0
-		for _, w := range workloads.MicroNames() {
+		for _, w := range microNames() {
 			prod *= ratioTo(th[w], so[w])
 			n++
 		}

@@ -15,58 +15,35 @@ import (
 	"io"
 	"strings"
 
-	"dhtm/internal/baselines"
 	"dhtm/internal/config"
-	"dhtm/internal/core"
+	"dhtm/internal/registry"
 	"dhtm/internal/resultstore"
 	"dhtm/internal/runner"
 	"dhtm/internal/txn"
 	"dhtm/internal/workloads"
 )
 
-// Design names accepted by NewRuntime.
+// Design names accepted by NewRuntime, re-exported from the registry (the
+// single source of truth for the design catalog).
 const (
-	DesignSO          = "SO"
-	DesignSdTM        = "sdTM"
-	DesignATOM        = "ATOM"
-	DesignLogTMATOM   = "LogTM-ATOM"
-	DesignNP          = "NP"
-	DesignDHTM        = "DHTM"
-	DesignDHTMInstant = "DHTM-instant"
-	DesignDHTML1      = "DHTM-L1"
-	DesignDHTMNoBuf   = "DHTM-nobuf"
+	DesignSO          = registry.DesignSO
+	DesignSdTM        = registry.DesignSdTM
+	DesignATOM        = registry.DesignATOM
+	DesignLogTMATOM   = registry.DesignLogTMATOM
+	DesignNP          = registry.DesignNP
+	DesignDHTM        = registry.DesignDHTM
+	DesignDHTMInstant = registry.DesignDHTMInstant
+	DesignDHTML1      = registry.DesignDHTML1
+	DesignDHTMNoBuf   = registry.DesignDHTMNoBuf
 )
 
-// Designs lists every runnable design name.
-func Designs() []string {
-	return []string{DesignSO, DesignSdTM, DesignATOM, DesignLogTMATOM, DesignNP,
-		DesignDHTM, DesignDHTMInstant, DesignDHTML1, DesignDHTMNoBuf}
-}
+// Designs lists every runnable design name, straight from the registry.
+func Designs() []string { return registry.DesignNames() }
 
-// NewRuntime constructs the named design over a fresh environment.
+// NewRuntime constructs the named design over a fresh environment by
+// resolving it through the registry.
 func NewRuntime(env *txn.Env, design string) (txn.Runtime, error) {
-	switch design {
-	case DesignSO:
-		return baselines.NewSO(env), nil
-	case DesignSdTM:
-		return baselines.NewSdTM(env), nil
-	case DesignATOM:
-		return baselines.NewATOM(env), nil
-	case DesignLogTMATOM:
-		return baselines.NewLogTMATOM(env), nil
-	case DesignNP:
-		return baselines.NewNP(env), nil
-	case DesignDHTM:
-		return core.New(env, core.Options{}), nil
-	case DesignDHTMInstant:
-		return core.New(env, core.Options{InstantPersist: true}), nil
-	case DesignDHTML1:
-		return core.New(env, core.Options{DisableOverflow: true}), nil
-	case DesignDHTMNoBuf:
-		return core.New(env, core.Options{DisableLogBuffer: true}), nil
-	default:
-		return nil, fmt.Errorf("harness: unknown design %q (known: %v)", design, Designs())
-	}
+	return registry.NewRuntime(env, design)
 }
 
 // Execute is the cell-runner callback: it builds a fresh, fully isolated
@@ -87,11 +64,11 @@ func Execute(cell runner.Cell) (workloads.RunResult, error) {
 	if err != nil {
 		return workloads.RunResult{}, err
 	}
-	w, err := workloads.New(cell.Workload)
+	w, err := registry.NewWorkload(cell.Workload)
 	if err != nil {
 		return workloads.RunResult{}, err
 	}
-	p := workloads.Params{Cores: cfg.NumCores, Seed: cell.Seed}
+	p := workloads.Params{Cores: cfg.NumCores, Seed: cell.Seed, OpsPerTx: cell.OpsPerTx}
 	txPerCore := cell.TxPerCore
 	if txPerCore <= 0 {
 		txPerCore = 16
@@ -201,6 +178,13 @@ func (t *Table) Render(w io.Writer) {
 		fmt.Fprintf(w, "  note: %s\n", n)
 	}
 	fmt.Fprintln(w)
+}
+
+// RenderFailure writes the one-line rendering of a failed experiment.
+// dhtm-bench's scenario mode and serve's /tables endpoint both use it, so
+// the two surfaces stay byte-identical even for failing campaigns.
+func RenderFailure(w io.Writer, id, errMsg string) {
+	fmt.Fprintf(w, "%s — FAILED: %s\n\n", id, errMsg)
 }
 
 // WriteCSV writes the table as one CSV block: a header row of column names

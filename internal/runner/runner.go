@@ -97,6 +97,11 @@ type Cell struct {
 	Cores int `json:"cores,omitempty"`
 	// TxPerCore is the number of transactions each core issues (0 = 16).
 	TxPerCore int `json:"tx_per_core,omitempty"`
+	// OpsPerTx overrides the workload's per-transaction operation count when
+	// > 0 — the footprint axis of the scenario API. Zero keeps the
+	// workload's own default, and contributes nothing to the cell's identity
+	// key, so pre-existing cells keep their derived seeds.
+	OpsPerTx int `json:"ops_per_tx,omitempty"`
 	// Seed is the workload generation seed. Zero means "derive": the runner
 	// fills it from the sweep's base seed and the cell's identity key.
 	Seed int64 `json:"seed,omitempty"`
@@ -111,6 +116,9 @@ type Cell struct {
 func (c Cell) Key() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s|%s|cores=%d|tx=%d", c.Design, c.Workload, c.Cores, c.TxPerCore)
+	if c.OpsPerTx > 0 {
+		fmt.Fprintf(&b, "|ops=%d", c.OpsPerTx)
+	}
 	if ov := c.Overrides.key(); ov != "" {
 		b.WriteByte('|')
 		b.WriteString(ov)

@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"fmt"
+
+	"dhtm/internal/harness"
+	"dhtm/internal/runner"
+)
+
+// SweepOutcome is one cell's result in a sweep campaign — the shared
+// machine-readable shape the serve API stores per cell and the CLIs emit,
+// and the row source of SweepTable. Keeping one type (and one renderer)
+// here is what makes a sweep scenario's table byte-identical whether it
+// came from dhtm-bench -scenario or from dhtm-serve's /tables endpoint.
+type SweepOutcome struct {
+	Cell       runner.Cell `json:"cell"`
+	Cached     bool        `json:"cached,omitempty"`
+	Committed  uint64      `json:"committed"`
+	Cycles     uint64      `json:"cycles"`
+	Throughput float64     `json:"throughput_tx_per_mcycle"`
+	Error      string      `json:"error,omitempty"`
+}
+
+// SweepOutcomes flattens a completed result set into outcomes, in plan
+// order.
+func SweepOutcomes(rs *runner.ResultSet) []SweepOutcome {
+	out := make([]SweepOutcome, len(rs.Results))
+	for i, r := range rs.Results {
+		o := SweepOutcome{Cell: r.Cell, Cached: r.Cached}
+		if r.Err != nil {
+			o.Error = r.Err.Error()
+		} else {
+			o.Committed = r.Run.Committed
+			o.Cycles = r.Run.Cycles
+			o.Throughput = r.Run.Throughput()
+		}
+		out[i] = o
+	}
+	return out
+}
+
+// SweepTable renders sweep outcomes in the harness table format. Every
+// surface that shows a sweep (serve's /tables, the CLIs' scenario mode)
+// goes through this one function.
+func SweepTable(name string, outcomes []SweepOutcome) *harness.Table {
+	if name == "" {
+		name = "sweep"
+	}
+	t := &harness.Table{
+		ID:      name,
+		Title:   "sweep results",
+		Columns: []string{"cell", "design", "workload", "seed", "committed", "cycles", "tx/Mcycle", "cached", "error"},
+	}
+	for _, o := range outcomes {
+		cached := ""
+		if o.Cached {
+			cached = "yes"
+		}
+		t.Rows = append(t.Rows, []string{
+			o.Cell.ID, o.Cell.Design, o.Cell.Workload,
+			fmt.Sprintf("%d", o.Cell.Seed),
+			fmt.Sprintf("%d", o.Committed),
+			fmt.Sprintf("%d", o.Cycles),
+			fmt.Sprintf("%.3f", o.Throughput),
+			cached, o.Error,
+		})
+	}
+	return t
+}

@@ -9,8 +9,9 @@ import (
 
 	"dhtm/internal/crashtest"
 	"dhtm/internal/harness"
+	"dhtm/internal/registry"
 	"dhtm/internal/runner"
-	"dhtm/internal/workloads"
+	"dhtm/internal/scenario"
 )
 
 // JobKind selects what a submitted campaign runs.
@@ -40,12 +41,49 @@ type JobSpec struct {
 	// Sweep jobs: the literal cell grid to run.
 	Plan *runner.Plan `json:"plan,omitempty"`
 
-	// Crashtest jobs: the exploration configuration.
-	Crashtest *crashtest.Config `json:"crashtest,omitempty"`
+	// Crashtest jobs: the exploration configuration. Crashtest carries a
+	// single exploration; Crashtests a grid of them (what a crashtest-mode
+	// scenario compiles to). Exactly one of the two may be set.
+	Crashtest  *crashtest.Config  `json:"crashtest,omitempty"`
+	Crashtests []crashtest.Config `json:"crashtests,omitempty"`
 
 	// Shared knobs. Parallel is clamped to the server's per-job cap.
 	Seed     int64 `json:"seed,omitempty"`
 	Parallel int   `json:"parallel,omitempty"`
+}
+
+// specFromScenario lowers a compiled scenario document onto a job spec.
+// The mapping is mechanical — scenario compilation already validated names
+// and expanded grids — so a scenario POSTed to the service runs exactly the
+// work the same file runs under a -scenario CLI flag.
+func specFromScenario(c *scenario.Compiled) JobSpec {
+	spec := JobSpec{Seed: c.Seed}
+	switch c.Doc.Mode {
+	case scenario.ModeExperiment:
+		spec.Kind = KindExperiment
+		for _, e := range c.Experiments {
+			spec.Experiments = append(spec.Experiments, e.ID)
+		}
+		spec.Quick = c.Options.Quick
+		spec.TxPerCore = c.Options.TxPerCore
+		spec.Cores = c.Options.Cores
+	case scenario.ModeSweep:
+		spec.Kind = KindSweep
+		plan := c.Plan
+		spec.Plan = &plan
+	case scenario.ModeCrashtest:
+		spec.Kind = KindCrashtest
+		spec.Crashtests = c.Crashtests
+	}
+	return spec
+}
+
+// crashtestConfigs normalizes the single and plural crashtest fields.
+func (s *JobSpec) crashtestConfigs() []crashtest.Config {
+	if s.Crashtest != nil {
+		return []crashtest.Config{*s.Crashtest}
+	}
+	return s.Crashtests
 }
 
 // validate rejects malformed specs at submit time, so a queued job can only
@@ -67,29 +105,33 @@ func (s *JobSpec) validate() error {
 			return err
 		}
 		for _, c := range s.Plan.Cells {
-			if !knownDesign(c.Design) {
-				return fmt.Errorf("cell %q: unknown design %q (valid: %s)", c.ID, c.Design, strings.Join(harness.Designs(), ", "))
+			if err := registry.CheckDesign(c.Design); err != nil {
+				return fmt.Errorf("cell %q: %v", c.ID, err)
 			}
-			if _, err := workloads.New(c.Workload); err != nil {
+			if err := registry.CheckWorkload(c.Workload); err != nil {
 				return fmt.Errorf("cell %q: %v", c.ID, err)
 			}
 		}
 	case KindCrashtest:
-		if s.Crashtest == nil {
+		if s.Crashtest != nil && len(s.Crashtests) > 0 {
+			return fmt.Errorf("crashtest jobs take either \"crashtest\" or \"crashtests\", not both")
+		}
+		cfgs := s.crashtestConfigs()
+		if len(cfgs) == 0 {
 			return fmt.Errorf("crashtest jobs need a crashtest configuration")
 		}
-		supported := false
-		for _, d := range crashtest.Supported() {
-			if s.Crashtest.Design == d {
-				supported = true
+		for _, cfg := range cfgs {
+			d, ok := registry.LookupDesign(cfg.Design)
+			if !ok || !d.CrashSafe {
+				return fmt.Errorf("design %q is not supported by the crash-point explorer (supported: %s)",
+					cfg.Design, strings.Join(crashtest.Supported(), ", "))
 			}
-		}
-		if !supported {
-			return fmt.Errorf("design %q is not supported by the crash-point explorer (supported: %s)",
-				s.Crashtest.Design, strings.Join(crashtest.Supported(), ", "))
-		}
-		if _, err := workloads.New(s.Crashtest.Workload); err != nil {
-			return err
+			if err := registry.CheckWorkload(cfg.Workload); err != nil {
+				return err
+			}
+			if err := cfg.Points.Validate(); err != nil {
+				return err
+			}
 		}
 	default:
 		return fmt.Errorf("unknown job kind %q (valid: %s, %s, %s)", s.Kind, KindExperiment, KindSweep, KindCrashtest)
@@ -118,16 +160,6 @@ func (s *JobSpec) experimentIDs() []string {
 		return harness.ExperimentIDs()
 	}
 	return ids
-}
-
-// knownDesign reports whether name is a runnable design.
-func knownDesign(name string) bool {
-	for _, d := range harness.Designs() {
-		if d == name {
-			return true
-		}
-	}
-	return false
 }
 
 // JobState is a job's lifecycle phase.
@@ -192,15 +224,10 @@ type ExperimentOutcome struct {
 	Error string         `json:"error,omitempty"`
 }
 
-// CellOutcome is one cell's result within a sweep job.
-type CellOutcome struct {
-	Cell       runner.Cell `json:"cell"`
-	Cached     bool        `json:"cached,omitempty"`
-	Committed  uint64      `json:"committed"`
-	Cycles     uint64      `json:"cycles"`
-	Throughput float64     `json:"throughput_tx_per_mcycle"`
-	Error      string      `json:"error,omitempty"`
-}
+// CellOutcome is one cell's result within a sweep job — the shared shape
+// (and table renderer) lives in the scenario package so the serve API and
+// the CLIs cannot drift apart.
+type CellOutcome = scenario.SweepOutcome
 
 // Job is one submitted campaign. All mutable state is guarded by mu; the
 // HTTP layer reads through snapshot methods.
@@ -225,7 +252,7 @@ type Job struct {
 
 	experiments []ExperimentOutcome
 	sweep       []CellOutcome
-	crashtest   *crashtest.Report
+	crashtests  []*crashtest.Report
 }
 
 // Status is the polling view of a job (GET /api/v1/jobs/{id}).
@@ -246,7 +273,7 @@ type Status struct {
 
 	Experiments []ExperimentOutcome `json:"experiments,omitempty"`
 	Sweep       []CellOutcome       `json:"sweep,omitempty"`
-	Crashtest   *crashtest.Report   `json:"crashtest,omitempty"`
+	Crashtests  []*crashtest.Report `json:"crashtests,omitempty"`
 }
 
 // status snapshots the job under its lock, results included.
@@ -258,7 +285,7 @@ func (j *Job) status() Status {
 	st.Spec = &spec
 	st.Experiments = append([]ExperimentOutcome(nil), j.experiments...)
 	st.Sweep = append([]CellOutcome(nil), j.sweep...)
-	st.Crashtest = j.crashtest
+	st.Crashtests = append([]*crashtest.Report(nil), j.crashtests...)
 	return st
 }
 

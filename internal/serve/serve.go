@@ -22,10 +22,12 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
 	"sort"
@@ -35,9 +37,10 @@ import (
 
 	"dhtm/internal/crashtest"
 	"dhtm/internal/harness"
+	"dhtm/internal/registry"
 	"dhtm/internal/resultstore"
 	"dhtm/internal/runner"
-	"dhtm/internal/workloads"
+	"dhtm/internal/scenario"
 )
 
 // Config assembles a server.
@@ -167,25 +170,51 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	for _, e := range harness.Experiments() {
 		exps = append(exps, experiment{ID: e.ID, Title: e.Title})
 	}
+	// The design and workload sections are the registry entries verbatim —
+	// names, descriptions, tags and crash-safety — so the catalog is always
+	// exactly what submissions validate against.
 	writeJSON(w, http.StatusOK, map[string]any{
-		"experiments":       exps,
-		"designs":           harness.Designs(),
-		"workloads":         workloads.Names(),
-		"crashtest_designs": crashtest.Supported(),
-		"job_kinds":         []JobKind{KindExperiment, KindSweep, KindCrashtest},
-		"workers":           s.cfg.Workers,
-		"cell_parallel_cap": s.cfg.CellParallel,
-		"result_store_dir":  s.cfg.Store.Dir(),
+		"experiments":             exps,
+		"designs":                 registry.Designs(),
+		"workloads":               registry.Workloads(),
+		"crashtest_designs":       crashtest.Supported(),
+		"job_kinds":               []JobKind{KindExperiment, KindSweep, KindCrashtest},
+		"scenario_format_version": scenario.FormatVersion,
+		"workers":                 s.cfg.Workers,
+		"cell_parallel_cap":       s.cfg.CellParallel,
+		"result_store_dir":        s.cfg.Store.Dir(),
 	})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var spec JobSpec
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 16<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading job body: %v", err)
 		return
+	}
+	var spec JobSpec
+	if scenario.Sniff(body) {
+		// A scenario document (it carries a format_version) — the exact file
+		// the CLIs run with -scenario. Compile it to a job spec, so one
+		// campaign spec runs identically on a laptop and against the service.
+		doc, err := scenario.Parse(body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		compiled, err := doc.Compile()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		spec = specFromScenario(compiled)
+	} else {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, "decoding job spec: %v", err)
+			return
+		}
 	}
 	if err := spec.validate(); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -365,48 +394,49 @@ func (s *Server) runSweep(job *Job) error {
 	if err != nil {
 		return err
 	}
-	outcomes := make([]CellOutcome, len(rs.Results))
-	for i, r := range rs.Results {
-		o := CellOutcome{Cell: r.Cell, Cached: r.Cached}
-		if r.Err != nil {
-			o.Error = r.Err.Error()
-		} else {
-			o.Committed = r.Run.Committed
-			o.Cycles = r.Run.Cycles
-			o.Throughput = r.Run.Throughput()
-		}
-		outcomes[i] = o
-	}
+	outcomes := scenario.SweepOutcomes(rs)
 	job.mu.Lock()
 	job.sweep = outcomes
 	job.mu.Unlock()
 	return rs.Err()
 }
 
-// runCrashtest executes a crash-point exploration, mapping its point
+// runCrashtest executes the job's crash-point explorations sequentially
+// (each exploration fans its points out in parallel), mapping point
 // progress onto job events.
 func (s *Server) runCrashtest(job *Job) error {
-	cfg := *job.spec.Crashtest
-	cfg.Parallel = s.parallel(job.spec.Parallel)
-	if cfg.Seed == 0 {
-		cfg.Seed = job.spec.Seed
-	}
-	// One event per explored point would swamp the history and the SSE
-	// streams on exhaustive explorations; batch like the CLI's progress log.
-	cfg.Progress = func(done, total int) {
-		if done%64 == 0 || done == total {
-			job.publish(Event{Type: "point", Done: done, Total: total})
+	var failures []string
+	for _, cfg := range job.spec.crashtestConfigs() {
+		if err := job.ctx.Err(); err != nil {
+			return context.Canceled
+		}
+		cfg.Parallel = s.parallel(job.spec.Parallel)
+		if cfg.Seed == 0 {
+			cfg.Seed = job.spec.Seed
+		}
+		// One event per explored point would swamp the history and the SSE
+		// streams on exhaustive explorations; batch like the CLI's progress
+		// log.
+		name := cfg.Design + "/" + cfg.Workload
+		cfg.Progress = func(done, total int) {
+			if done%64 == 0 || done == total {
+				job.publish(Event{Type: "point", Experiment: name, Done: done, Total: total})
+			}
+		}
+		rep, err := crashtest.Explore(job.ctx, cfg)
+		if err != nil {
+			return err
+		}
+		job.mu.Lock()
+		job.crashtests = append(job.crashtests, rep)
+		job.mu.Unlock()
+		if rep.Failed > 0 {
+			failures = append(failures, fmt.Sprintf("%s: %d of %d crash points failed; reproduce: %s",
+				name, rep.Failed, rep.Explored, rep.Repro))
 		}
 	}
-	rep, err := crashtest.Explore(job.ctx, cfg)
-	if err != nil {
-		return err
-	}
-	job.mu.Lock()
-	job.crashtest = rep
-	job.mu.Unlock()
-	if rep.Failed > 0 {
-		return fmt.Errorf("%d of %d crash points failed; reproduce: %s", rep.Failed, rep.Explored, rep.Repro)
+	if len(failures) > 0 {
+		return fmt.Errorf("%s", strings.Join(failures, "; "))
 	}
 	return nil
 }
@@ -526,60 +556,37 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	case KindExperiment:
 		for _, o := range st.Experiments {
 			if o.Error != "" {
-				fmt.Fprintf(w, "%s — FAILED: %s\n\n", o.ID, o.Error)
+				harness.RenderFailure(w, o.ID, o.Error)
 				continue
 			}
 			o.Table.Render(w)
 		}
 	case KindSweep:
-		sweepTable(st).Render(w)
+		name := ""
+		if st.Spec != nil && st.Spec.Plan != nil {
+			name = st.Spec.Plan.Name
+		}
+		scenario.SweepTable(name, st.Sweep).Render(w)
 	case KindCrashtest:
-		rep := st.Crashtest
-		if rep == nil {
+		if len(st.Crashtests) == 0 {
 			fmt.Fprintf(w, "crashtest produced no report: %s\n", st.Error)
 			return
 		}
-		fmt.Fprintf(w, "%s/%s: %d persist events, explored %d, %d failed\n",
-			rep.Design, rep.Workload, rep.TotalPoints, rep.Explored, rep.Failed)
-		classes := make([]string, 0, len(rep.EventsByClass))
-		for c := range rep.EventsByClass {
-			classes = append(classes, c)
-		}
-		sort.Strings(classes)
-		for _, c := range classes {
-			fmt.Fprintf(w, "  %s=%d\n", c, rep.EventsByClass[c])
-		}
-		if rep.FirstFailure != nil {
-			fmt.Fprintf(w, "  first failure at point %d (%s): %s\n  reproduce: %s\n",
-				rep.FirstFailure.Point, rep.FirstFailure.Class, rep.FirstFailure.Err, rep.Repro)
+		for _, rep := range st.Crashtests {
+			fmt.Fprintf(w, "%s/%s: %d persist events, explored %d, %d failed\n",
+				rep.Design, rep.Workload, rep.TotalPoints, rep.Explored, rep.Failed)
+			classes := make([]string, 0, len(rep.EventsByClass))
+			for c := range rep.EventsByClass {
+				classes = append(classes, c)
+			}
+			sort.Strings(classes)
+			for _, c := range classes {
+				fmt.Fprintf(w, "  %s=%d\n", c, rep.EventsByClass[c])
+			}
+			if rep.FirstFailure != nil {
+				fmt.Fprintf(w, "  first failure at point %d (%s): %s\n  reproduce: %s\n",
+					rep.FirstFailure.Point, rep.FirstFailure.Class, rep.FirstFailure.Err, rep.Repro)
+			}
 		}
 	}
-}
-
-// sweepTable renders sweep outcomes in the harness table format.
-func sweepTable(st Status) *harness.Table {
-	name := "sweep"
-	if st.Spec != nil && st.Spec.Plan != nil && st.Spec.Plan.Name != "" {
-		name = st.Spec.Plan.Name
-	}
-	t := &harness.Table{
-		ID:      name,
-		Title:   "sweep results",
-		Columns: []string{"cell", "design", "workload", "seed", "committed", "cycles", "tx/Mcycle", "cached", "error"},
-	}
-	for _, o := range st.Sweep {
-		cached := ""
-		if o.Cached {
-			cached = "yes"
-		}
-		t.Rows = append(t.Rows, []string{
-			o.Cell.ID, o.Cell.Design, o.Cell.Workload,
-			fmt.Sprintf("%d", o.Cell.Seed),
-			fmt.Sprintf("%d", o.Committed),
-			fmt.Sprintf("%d", o.Cycles),
-			fmt.Sprintf("%.3f", o.Throughput),
-			cached, o.Error,
-		})
-	}
-	return t
 }

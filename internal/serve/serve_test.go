@@ -303,6 +303,105 @@ func TestCancelJob(t *testing.T) {
 	}
 }
 
+// TestScenarioSubmit posts a raw scenario document — the same bytes a CLI
+// runs with -scenario — to the jobs endpoint and checks it compiles into a
+// sweep job whose cells carry the scenario's grid IDs.
+func TestScenarioSubmit(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), 1)
+	body := `{
+		"format_version": 1,
+		"name": "scenario-smoke",
+		"mode": "sweep",
+		"designs": ["DHTM"],
+		"workloads": ["hash", "queue"],
+		"axes": {"cores": [2], "tx_per_core": [2]}
+	}`
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("scenario submit: status %d (%s)", resp.StatusCode, st.Error)
+	}
+	if st.Kind != KindSweep {
+		t.Fatalf("scenario compiled to kind %q, want sweep", st.Kind)
+	}
+	final := await(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("scenario job finished %s (%s)", final.State, final.Error)
+	}
+	// The workload set resolves into registry (Table IV) order: queue
+	// precedes hash.
+	wantIDs := []string{"DHTM/queue/cores=2/tx=2", "DHTM/hash/cores=2/tx=2"}
+	if len(final.Sweep) != len(wantIDs) {
+		t.Fatalf("sweep outcomes = %d, want %d", len(final.Sweep), len(wantIDs))
+	}
+	for i, want := range wantIDs {
+		if final.Sweep[i].Cell.ID != want {
+			t.Fatalf("cell %d = %q, want %q", i, final.Sweep[i].Cell.ID, want)
+		}
+		if final.Sweep[i].Committed == 0 {
+			t.Fatalf("cell %q reported no commits", want)
+		}
+	}
+
+	// Invalid scenario documents die at the door like invalid job specs.
+	for name, tc := range map[string]struct{ body, want string }{
+		"version skew":   {`{"format_version":99,"mode":"sweep"}`, "format_version 99"},
+		"unknown design": {`{"format_version":1,"mode":"sweep","designs":["NOPE"],"workloads":["hash"]}`, "unknown design"},
+		"empty grid":     {`{"format_version":1,"mode":"sweep"}`, "empty grid"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+			var apiErr apiError
+			if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(apiErr.Error, tc.want) {
+				t.Fatalf("error %q does not mention %q", apiErr.Error, tc.want)
+			}
+		})
+	}
+}
+
+// TestCrashtestGridJob submits a multi-configuration crashtest job (what a
+// crashtest-mode scenario compiles to) and checks every exploration reports.
+func TestCrashtestGridJob(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), 1)
+	st := submit(t, ts, JobSpec{
+		Kind: KindCrashtest,
+		Crashtests: []crashtest.Config{
+			{Design: "DHTM", Workload: "hash", Cores: 2, TxPerCore: 1, Points: crashtest.Selection{Mode: "point", Point: 0}},
+			{Design: "ATOM", Workload: "hash", Cores: 2, TxPerCore: 1, Points: crashtest.Selection{Mode: "point", Point: 0}},
+		},
+	})
+	final := await(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("crashtest grid finished %s (%s)", final.State, final.Error)
+	}
+	if len(final.Crashtests) != 2 {
+		t.Fatalf("crashtest reports = %d, want 2", len(final.Crashtests))
+	}
+	for _, rep := range final.Crashtests {
+		if rep.Explored != 1 || rep.Failed != 0 {
+			t.Fatalf("%s/%s explored %d failed %d, want 1 explored 0 failed",
+				rep.Design, rep.Workload, rep.Explored, rep.Failed)
+		}
+	}
+}
+
 // TestSubmitValidation checks malformed specs die at the door with 400s
 // that name the valid values.
 func TestSubmitValidation(t *testing.T) {
@@ -319,6 +418,8 @@ func TestSubmitValidation(t *testing.T) {
 		{"bad workload", `{"kind":"sweep","plan":{"name":"x","cells":[{"id":"a","design":"DHTM","workload":"nope"}]}}`, "unknown workload"},
 		{"crashtest without config", `{"kind":"crashtest"}`, "crashtest configuration"},
 		{"unsupported crashtest design", `{"kind":"crashtest","crashtest":{"design":"NP","workload":"hash"}}`, "not supported"},
+		{"bad crashtest point selection", `{"kind":"crashtest","crashtest":{"design":"DHTM","workload":"hash","points":{"mode":"bogus"}}}`, "unknown selection mode"},
+		{"both crashtest fields", `{"kind":"crashtest","crashtest":{"design":"DHTM","workload":"hash"},"crashtests":[{"design":"DHTM","workload":"hash"}]}`, "not both"},
 		{"unknown field", `{"kind":"sweep","plam":{}}`, "unknown field"},
 	}
 	for _, tc := range cases {

@@ -3,9 +3,8 @@ package workloads_test
 import (
 	"testing"
 
-	"dhtm/internal/baselines"
 	"dhtm/internal/config"
-	"dhtm/internal/core"
+	"dhtm/internal/registry"
 	"dhtm/internal/txn"
 	"dhtm/internal/workloads"
 )
@@ -21,29 +20,17 @@ func smallConfig(cores int) config.Config {
 	return cfg
 }
 
-// newRuntime builds the named design on a fresh environment.
+// newRuntime builds the named design on a fresh environment, resolving the
+// name through the registry like every other layer.
 func newRuntime(t *testing.T, name string, cfg config.Config) (*txn.Env, txn.Runtime) {
 	t.Helper()
 	env, err := txn.NewEnv(cfg)
 	if err != nil {
 		t.Fatalf("NewEnv: %v", err)
 	}
-	var rt txn.Runtime
-	switch name {
-	case "DHTM":
-		rt = core.New(env, core.Options{})
-	case "NP":
-		rt = baselines.NewNP(env)
-	case "SO":
-		rt = baselines.NewSO(env)
-	case "sdTM":
-		rt = baselines.NewSdTM(env)
-	case "ATOM":
-		rt = baselines.NewATOM(env)
-	case "LogTM-ATOM":
-		rt = baselines.NewLogTMATOM(env)
-	default:
-		t.Fatalf("unknown design %q", name)
+	rt, err := registry.NewRuntime(env, name)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
 	}
 	return env, rt
 }
@@ -55,13 +42,13 @@ func newRuntime(t *testing.T, name string, cfg config.Config) (*txn.Env, txn.Run
 func TestAllDesignsAllMicrobenchmarks(t *testing.T) {
 	designs := []string{"DHTM", "NP", "SO", "sdTM", "ATOM", "LogTM-ATOM"}
 	for _, design := range designs {
-		for _, wname := range workloads.MicroNames() {
+		for _, wname := range registry.MicroWorkloadNames() {
 			design, wname := design, wname
 			t.Run(design+"/"+wname, func(t *testing.T) {
 				t.Parallel()
 				cfg := smallConfig(4)
 				env, rt := newRuntime(t, design, cfg)
-				w, err := workloads.New(wname)
+				w, err := registry.NewWorkload(wname)
 				if err != nil {
 					t.Fatalf("New(%q): %v", wname, err)
 				}
@@ -96,7 +83,7 @@ func TestOLTPWorkloadsOnKeyDesigns(t *testing.T) {
 				t.Parallel()
 				cfg := smallConfig(4)
 				env, rt := newRuntime(t, design, cfg)
-				w, err := workloads.New(wname)
+				w, err := registry.NewWorkload(wname)
 				if err != nil {
 					t.Fatalf("New(%q): %v", wname, err)
 				}
@@ -125,7 +112,7 @@ func TestWriteSetFootprints(t *testing.T) {
 	measure := func(wname string) float64 {
 		cfg := smallConfig(2)
 		env, rt := newRuntime(t, "NP", cfg)
-		w, err := workloads.New(wname)
+		w, err := registry.NewWorkload(wname)
 		if err != nil {
 			t.Fatalf("New(%q): %v", wname, err)
 		}
@@ -135,7 +122,7 @@ func TestWriteSetFootprints(t *testing.T) {
 		return env.Stats.MeanWriteSetLines()
 	}
 	micro := map[string]float64{}
-	for _, name := range workloads.MicroNames() {
+	for _, name := range registry.MicroWorkloadNames() {
 		micro[name] = measure(name)
 		if micro[name] < 10 || micro[name] > 120 {
 			t.Errorf("%s write set %.1f lines outside the expected micro-benchmark regime", name, micro[name])

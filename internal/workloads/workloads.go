@@ -10,9 +10,7 @@
 package workloads
 
 import (
-	"fmt"
 	"math/rand"
-	"sort"
 
 	"dhtm/internal/memdev"
 	"dhtm/internal/palloc"
@@ -79,41 +77,35 @@ type Workload interface {
 	Verify(store *memdev.Store) error
 }
 
-// factories maps workload names to constructors.
-var factories = map[string]func() Workload{
-	"queue":  func() Workload { return newQueue() },
-	"hash":   func() Workload { return newHash() },
-	"sdg":    func() Workload { return newSDG() },
-	"sps":    func() Workload { return newSPS() },
-	"btree":  func() Workload { return newBTree() },
-	"rbtree": func() Workload { return newRBTree() },
-	"tatp":   func() Workload { return newTATP() },
-	"tpcc":   func() Workload { return newTPCC() },
-}
+// The exported constructors below are the only way to build a workload.
+// Name-based lookup deliberately lives elsewhere: internal/registry is the
+// single catalog mapping names (and descriptions and tags) to these
+// constructors, so this package cannot drift from the listings the CLIs and
+// the serve API print.
 
-// New returns a fresh workload by name.
-func New(name string) (Workload, error) {
-	f, ok := factories[name]
-	if !ok {
-		return nil, fmt.Errorf("workloads: unknown workload %q (known: %v)", name, Names())
-	}
-	return f(), nil
-}
+// NewQueue builds the concurrent persistent queue micro-benchmark.
+func NewQueue() Workload { return newQueue() }
 
-// Names lists the available workloads in a stable order.
-func Names() []string {
-	out := make([]string, 0, len(factories))
-	for n := range factories {
-		out = append(out, n)
-	}
-	sort.Strings(out)
-	return out
-}
+// NewHash builds the persistent hash-table micro-benchmark.
+func NewHash() Workload { return newHash() }
 
-// MicroNames lists the six micro-benchmarks in the order the paper plots them.
-func MicroNames() []string {
-	return []string{"queue", "hash", "sdg", "sps", "btree", "rbtree"}
-}
+// NewSDG builds the graph-update micro-benchmark.
+func NewSDG() Workload { return newSDG() }
+
+// NewSPS builds the random-swaps micro-benchmark.
+func NewSPS() Workload { return newSPS() }
+
+// NewBTree builds the B-tree micro-benchmark.
+func NewBTree() Workload { return newBTree() }
+
+// NewRBTree builds the red-black-tree micro-benchmark.
+func NewRBTree() Workload { return newRBTree() }
+
+// NewTATP builds the TATP OLTP workload.
+func NewTATP() Workload { return newTATP() }
+
+// NewTPCC builds the TPC-C OLTP workload.
+func NewTPCC() Workload { return newTPCC() }
 
 // word returns the address of the i-th 8-byte word after base.
 func word(base uint64, i int) uint64 { return base + uint64(i)*8 }
