@@ -48,6 +48,7 @@ import (
 	"dhtm/internal/resultstore"
 	"dhtm/internal/runner"
 	"dhtm/internal/scenario"
+	"dhtm/internal/snapshot"
 )
 
 // experimentResult is one experiment's entry in the -json document.
@@ -67,6 +68,18 @@ type document struct {
 	Quick       bool                 `json:"quick"`
 	Experiments []experimentResult   `json:"experiments"`
 	Store       *resultstore.Metrics `json:"store,omitempty"`
+	Snapshots   *snapshot.Metrics    `json:"snapshots,omitempty"`
+}
+
+// snapshotSummary reports the setup-snapshot cache counters on stderr, next
+// to the result-store summary: how many cells re-used a cached post-setup
+// image (hits), how many had to run workload Setup (misses), and how many
+// copy-on-write clones were handed out.
+func snapshotSummary() snapshot.Metrics {
+	m := snapshot.Default.Metrics()
+	fmt.Fprintf(os.Stderr, "dhtm-bench: snapshots: %d hits, %d misses, %d clones, %d cached images\n",
+		m.Hits, m.Misses, m.Clones, m.Entries)
+	return m
 }
 
 func main() { os.Exit(run()) }
@@ -231,6 +244,8 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "dhtm-bench: store %s: %d hits (%d mem, %d disk), %d misses, %d simulated, %d shared, %d written, %d corrupt\n",
 			store.Dir(), m.Hits(), m.MemHits, m.DiskHits, m.Misses, m.Computes, m.Shared, m.Writes, m.Corrupt)
 	}
+	sm := snapshotSummary()
+	doc.Snapshots = &sm
 	if *jsonOut {
 		if err := writeJSON(os.Stdout, doc); err != nil {
 			fmt.Fprintf(os.Stderr, "dhtm-bench: encoding JSON: %v\n", err)
@@ -337,6 +352,7 @@ func runScenario(ctx context.Context, path string, parallel int, seed int64, sto
 		fmt.Fprintf(os.Stderr, "dhtm-bench: store %s: %d hits (%d mem, %d disk), %d misses, %d simulated, %d shared, %d written, %d corrupt\n",
 			store.Dir(), m.Hits(), m.MemHits, m.DiskHits, m.Misses, m.Computes, m.Shared, m.Writes, m.Corrupt)
 	}
+	snapshotSummary()
 	if err := ctx.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "dhtm-bench: interrupted; partial results above, re-run with the same -store to resume")
 		return 1

@@ -52,6 +52,12 @@ type Line struct {
 	R bool // read inside the current transaction
 	W bool // written inside the current transaction
 
+	// gen is the cache generation the line was installed in. A line whose gen
+	// trails the cache's current generation is stale — logically invalid —
+	// which lets Clear be O(1) (bump the generation) instead of sweeping
+	// every way. The field packs into existing padding, so Line does not grow.
+	gen uint32
+
 	// Directory metadata (meaningful in the LLC).
 	Owner   int    // core owning the line in Modified state, or NoOwner
 	Sharers uint64 // bitmask of cores holding a Shared copy
@@ -86,6 +92,10 @@ type Cache struct {
 	ways     int
 	lineSize uint64
 	tick     uint64
+	// gen is the current generation; lines with an older gen are stale (see
+	// Line.gen). Stale ways are lazily reset the next time Victim considers
+	// them, so no caller ever observes pre-Clear contents.
+	gen uint32
 }
 
 // New builds a cache of sizeBytes capacity with the given associativity and
@@ -116,6 +126,9 @@ func New(sizeBytes, ways, lineSize int) *Cache {
 // Sets returns the number of sets.
 func (c *Cache) Sets() int { return c.numSets }
 
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return int(c.lineSize) }
+
 // Ways returns the associativity.
 func (c *Cache) Ways() int { return c.ways }
 
@@ -140,12 +153,18 @@ func (c *Cache) Lookup(addr uint64) *Line {
 	return l
 }
 
+// live reports whether the way holds a current-generation line: valid and
+// not invalidated by an O(1) Clear.
+func (c *Cache) live(l *Line) bool {
+	return l.State != Invalid && l.gen == c.gen
+}
+
 // Peek returns the line holding addr without disturbing LRU state.
 func (c *Cache) Peek(addr uint64) *Line {
 	la := c.Align(addr)
 	set := c.sets[c.setIndex(la)]
 	for i := range set {
-		if set[i].Valid() && set[i].Addr == la {
+		if c.live(&set[i]) && set[i].Addr == la {
 			return &set[i]
 		}
 	}
@@ -161,7 +180,11 @@ func (c *Cache) Victim(addr uint64) *Line {
 	set := c.sets[c.setIndex(la)]
 	var victim *Line
 	for i := range set {
-		if !set[i].Valid() {
+		if !c.live(&set[i]) {
+			// An unused or stale way. Reset stale contents here so callers
+			// inspecting the victim (write-back decisions) see an invalid
+			// way, exactly as after a sweeping Clear.
+			set[i].Reset()
 			return &set[i]
 		}
 		if victim == nil || set[i].lru < victim.lru {
@@ -178,6 +201,7 @@ func (c *Cache) PlaceAt(way *Line, addr uint64, state State, data memdev.Line) *
 	way.Addr = c.Align(addr)
 	way.State = state
 	way.Data = data
+	way.gen = c.gen
 	c.tick++
 	way.lru = c.tick
 	return way
@@ -195,7 +219,7 @@ func (c *Cache) Invalidate(addr uint64) {
 func (c *Cache) ForEach(f func(*Line)) {
 	for s := range c.sets {
 		for w := range c.sets[s] {
-			if c.sets[s][w].Valid() {
+			if c.live(&c.sets[s][w]) {
 				f(&c.sets[s][w])
 			}
 		}
@@ -213,12 +237,20 @@ func (c *Cache) CountIf(pred func(*Line) bool) int {
 	return n
 }
 
-// Clear invalidates every line (used to model a crash: caches are volatile).
+// Clear invalidates every line (used to model a crash: caches are volatile,
+// and pooled caches are cleared before reuse). It is O(1): the generation
+// counter is bumped and stale ways are lazily reset as Victim reuses them.
 func (c *Cache) Clear() {
-	for s := range c.sets {
-		for w := range c.sets[s] {
-			c.sets[s][w].Reset()
+	c.gen++
+	if c.gen == 0 {
+		// Generation counter wrapped (after 2^32 clears): sweep so ancient
+		// gen-0 lines cannot alias the fresh generation, then restart at 1.
+		for s := range c.sets {
+			for w := range c.sets[s] {
+				c.sets[s][w].Reset()
+			}
 		}
+		c.gen = 1
 	}
 }
 

@@ -109,3 +109,57 @@ func TestPropertyCapacityRespected(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestGenerationClear checks the O(1) Clear invariants: stale lines are
+// unobservable through every read path, Victim hands back stale ways as
+// invalid (so write-back decisions see a post-crash cache), and lines placed
+// after a Clear behave exactly as in a freshly built cache — including when
+// the pre-Clear contents aliased the same addresses.
+func TestGenerationClear(t *testing.T) {
+	c := New(4*64, 4, 64) // a single set with 4 ways
+	addrs := []uint64{0x0, 0x1000, 0x2000, 0x3000}
+	for i, a := range addrs {
+		l := c.PlaceAt(c.Victim(a), a, Modified, memdev.Line{uint64(i) + 1})
+		l.Dirty = true
+	}
+	c.Clear()
+
+	if c.Peek(0x1000) != nil || c.Lookup(0x2000) != nil {
+		t.Fatalf("stale line visible after Clear")
+	}
+	if n := c.CountIf(func(*Line) bool { return true }); n != 0 {
+		t.Fatalf("%d stale lines counted after Clear", n)
+	}
+	c.ForEach(func(l *Line) { t.Fatalf("ForEach visited stale line %#x", l.Addr) })
+
+	// Victim must treat every stale way as invalid and return it reset, so a
+	// caller checking Valid()/Dirty performs no bogus write-back.
+	v := c.Victim(0x0)
+	if v.Valid() || v.Dirty {
+		t.Fatalf("victim after Clear is %+v, want a reset invalid way", v)
+	}
+
+	// Refill the same set, re-using addresses from before the Clear: old data
+	// must never resurface and capacity must be fully available.
+	for i, a := range addrs {
+		c.PlaceAt(c.Victim(a), a, Shared, memdev.Line{uint64(i) + 100})
+	}
+	for i, a := range addrs {
+		l := c.Lookup(a)
+		if l == nil || l.Data[0] != uint64(i)+100 || l.Dirty {
+			t.Fatalf("line %#x after refill = %+v, want fresh contents", a, l)
+		}
+	}
+
+	// Many clear/refill rounds stay consistent (the generation just climbs).
+	for round := 0; round < 1000; round++ {
+		c.Clear()
+		if c.Peek(0x1000) != nil {
+			t.Fatalf("round %d: stale hit", round)
+		}
+		c.PlaceAt(c.Victim(0x1000), 0x1000, Modified, memdev.Line{uint64(round)})
+		if got := c.ReadWord(0x1000); got != uint64(round) {
+			t.Fatalf("round %d: read %d", round, got)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"dhtm/internal/recovery"
 	"dhtm/internal/registry"
 	"dhtm/internal/runner"
+	"dhtm/internal/snapshot"
 	"dhtm/internal/txn"
 	"dhtm/internal/workloads"
 )
@@ -91,15 +92,24 @@ func wordsEqual(a, b []uint64) bool {
 // on, so the remaining work cannot change the outcome).
 func (in *injector) done() bool { return in.snapshot != nil }
 
-// runOnce builds one fresh, fully isolated simulated machine and drives
-// TxPerCore transactions per core through workloads.RunInstrumented — the
-// same drive loop every plain run uses, so identical seeds yield identical
-// persist-event sequences. The observer returned by arm is installed after
-// workload setup, so only the measured run's durable writes are numbered.
+// runOnce builds one fully isolated simulated machine and drives TxPerCore
+// transactions per core through workloads.RunPrepared — the same drive loop
+// every plain run uses, so identical seeds yield identical persist-event
+// sequences. The machine's store is a fresh copy-on-write clone of the
+// cached post-setup snapshot for (config, workload, seed): the counting pass
+// and every crash-point re-run start from byte-identical images, and the
+// writes of one re-run land in its private clone, never in the shared
+// snapshot. The observer returned by arm is installed after the clone is
+// built, so only the measured run's durable writes are numbered.
 func (c Config) runOnce(seed int64, arm func(*txn.Env) (memdev.PersistObserver, func() bool)) (*txn.Env, workloads.Workload, error) {
 	hw := config.Default()
 	hw.NumCores = c.Cores
-	env, err := txn.NewEnv(hw)
+	p := workloads.Params{Cores: c.Cores, OpsPerTx: c.OpsPerTx, Seed: seed}
+	prep, err := snapshot.Default.Prepare(hw, c.Workload, p)
+	if err != nil {
+		return nil, nil, err
+	}
+	env, err := txn.NewEnvOn(hw, prep.NewStore())
 	if err != nil {
 		return nil, nil, err
 	}
@@ -107,13 +117,8 @@ func (c Config) runOnce(seed int64, arm func(*txn.Env) (memdev.PersistObserver, 
 	if err != nil {
 		return nil, nil, err
 	}
-	w, err := registry.NewWorkload(c.Workload)
-	if err != nil {
-		return nil, nil, err
-	}
 	var stop func() bool
-	p := workloads.Params{Cores: c.Cores, OpsPerTx: c.OpsPerTx, Seed: seed}
-	_, err = workloads.RunInstrumented(env, rt, w, p, c.TxPerCore, true,
+	_, err = workloads.RunPrepared(env, rt, prep.Workload, p, c.TxPerCore, true,
 		func() {
 			obs, s := arm(env)
 			env.Ctl.SetPersistObserver(obs)
@@ -123,7 +128,7 @@ func (c Config) runOnce(seed int64, arm func(*txn.Env) (memdev.PersistObserver, 
 	if err != nil {
 		return nil, nil, fmt.Errorf("crashtest: %w", err)
 	}
-	return env, w, nil
+	return env, prep.Workload, nil
 }
 
 // countPass measures the persist-event space: one uncrashed run with a
@@ -140,6 +145,7 @@ func (c Config) countPass(seed int64) ([]traceEvent, error) {
 		return nil, err
 	}
 	final := env.Store().Clone()
+	env.Release()
 	if _, err := recovery.Recover(final); err != nil {
 		return nil, fmt.Errorf("crashtest: baseline recovery of the uncrashed image failed: %w", err)
 	}
@@ -158,7 +164,7 @@ func (c Config) explorePoint(seed int64, trace []traceEvent, k int) PointResult 
 		res.TornWords = 1 + int(runner.Mix64(uint64(seed)^uint64(k))%uint64(len(trace[k].words)-1))
 	}
 	inj := &injector{trace: trace, target: uint64(k), tornWords: res.TornWords}
-	_, w, err := c.runOnce(seed, func(env *txn.Env) (memdev.PersistObserver, func() bool) {
+	env, w, err := c.runOnce(seed, func(env *txn.Env) (memdev.PersistObserver, func() bool) {
 		inj.store = env.Store()
 		return inj, inj.done
 	})
@@ -166,6 +172,7 @@ func (c Config) explorePoint(seed int64, trace []traceEvent, k int) PointResult 
 		res.Err = err.Error()
 		return res
 	}
+	env.Release()
 	if inj.mismatch != nil {
 		res.Err = "determinism: " + inj.mismatch.Error()
 		return res

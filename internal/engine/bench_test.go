@@ -21,6 +21,45 @@ func BenchmarkEngineYield(b *testing.B) {
 	})
 }
 
+// BenchmarkEngineScheduler measures the event-loop scheduler under the
+// worst case for the old token engine: cores advancing in lockstep by a
+// constant delta, so every Advance is a real switch to the next coroutine.
+func BenchmarkEngineScheduler(b *testing.B) {
+	b.ReportAllocs()
+	const cores = 8
+	e := New(cores)
+	per := b.N/cores + 1
+	b.ResetTimer()
+	e.Run(func(core int, c *Clock) {
+		for i := 0; i < per; i++ {
+			c.Advance(3)
+		}
+	})
+}
+
+// BenchmarkEngineSchedulerFastPath measures the no-handoff fast path of the
+// event loop with other cores present: one core is far behind the rest and
+// advances in small steps, so every Advance is the add-and-compare path with
+// no coroutine switch. It must stay at 0 allocs/op.
+func BenchmarkEngineSchedulerFastPath(b *testing.B) {
+	b.ReportAllocs()
+	const cores = 4
+	e := New(cores)
+	b.ResetTimer()
+	e.Run(func(core int, c *Clock) {
+		if core > 0 {
+			// Park the other cores far in the future in one step each.
+			c.Advance(uint64(b.N) + 10)
+			return
+		}
+		for i := 0; i < b.N; i++ {
+			c.Advance(0)
+			c.Yield()
+		}
+		c.Advance(uint64(b.N) + 20)
+	})
+}
+
 // BenchmarkEngineYieldFastPath measures the pure fast path: a single core has
 // no other unfinished cores to hand off to, so Advance must stay a plain
 // add-and-compare.

@@ -1,29 +1,37 @@
 // Package engine provides the deterministic multi-core scheduling substrate
-// for the architectural simulator. Each simulated core runs as its own
-// goroutine with a private cycle clock, but only the core holding the single
-// scheduling token is ever allowed to touch shared simulator state. The token
-// moves by direct handoff: when the advancing core is no longer the minimum
-// (clock, core) among unfinished cores it passes the token straight to the
-// core that is, so the interleaving of memory-system operations is fully
-// determined by the timing model, never by the Go runtime scheduler.
+// for the architectural simulator. A whole cell executes as a single-threaded
+// discrete-event loop: each simulated core is a run-to-yield coroutine
+// (iter.Pull over the core body), and a plain scheduler loop always resumes
+// the core with the minimum (clock, core) among the unfinished ones. Only the
+// resumed core ever touches shared simulator state, so the interleaving of
+// memory-system operations is fully determined by the timing model, never by
+// the Go runtime scheduler — and because the whole cell stays on one OS
+// thread, a core switch is a direct coroutine switch with no goroutine
+// parking, channel handoff, or mutex.
 //
-// The hot path is allocation- and lock-free: every Clock caches the
+// The hot path is allocation- and switch-free: every Clock caches the
 // lexicographic minimum (clock, core) of the *other* unfinished cores, which
-// cannot change while this core holds the token (parked cores do not move
-// their clocks, and only the token holder can finish). An Advance that keeps
-// the caller in front is therefore a single add-and-compare with no mutex,
-// channel operation, or O(cores) scan; the scan happens once per actual
-// handoff, when the resumed core refreshes its cache.
+// cannot change while this core is running (suspended cores do not move
+// their clocks, and only the running core can finish). An Advance that keeps
+// the caller in front is therefore a single add-and-compare with no coroutine
+// switch or O(cores) scan; the scan happens once per actual switch, when the
+// resumed core refreshes its cache.
+//
+// The scheduling order is bit-for-bit identical to the previous
+// one-goroutine-per-core token engine (kept as the reference implementation
+// in the parity tests): a core yields exactly when it is no longer the
+// minimum, control passes exactly to the core its cache named, and a
+// finishing core hands over to the minimum of the remaining ones.
 package engine
 
 import (
 	"fmt"
-	"sync"
+	"iter"
 )
 
 // Clock is a simulated core's private cycle counter plus its handle on the
-// scheduling token. All simulator-facing operations of a core must be
-// performed between Acquire (implicit in the engine callbacks) and the next
+// event loop. All simulator-facing operations of a core must be performed
+// between resumes (implicit in the engine callbacks) and the next
 // Advance/AdvanceTo call.
 type Clock struct {
 	core int
@@ -32,11 +40,16 @@ type Clock struct {
 
 	// minOtherClock/minOtherCore cache the lexicographic minimum
 	// (clock, core) among the other unfinished cores. The cache is refreshed
-	// every time this core receives the token and stays valid while it holds
-	// it: parked cores cannot advance, and cores only finish while holding
-	// the token themselves. minOtherCore is -1 when no other core remains.
+	// every time this core is resumed and stays valid while it runs:
+	// suspended cores cannot advance, and cores only finish while running
+	// themselves. minOtherCore is -1 when no other core remains.
 	minOtherClock uint64
 	minOtherCore  int
+
+	// yield suspends this core's coroutine back into the scheduler loop. It
+	// reports false when the engine is tearing down (another core panicked),
+	// in which case the body is unwound via a poison panic.
+	yield func(struct{}) bool
 }
 
 // Core returns the core index this clock belongs to.
@@ -52,10 +65,10 @@ func (c *Clock) ahead() bool {
 		(c.now == c.minOtherClock && c.core < c.minOtherCore)
 }
 
-// Advance moves the core's clock forward by delta cycles and yields the
-// scheduling token so that any core now lagging behind can catch up before
-// this core performs its next shared-state operation. When the caller remains
-// the minimum-clock core the yield is a no-op compare and no handoff happens.
+// Advance moves the core's clock forward by delta cycles and yields to the
+// event loop so that any core now lagging behind can catch up before this
+// core performs its next shared-state operation. When the caller remains the
+// minimum-clock core the yield is a no-op compare and no switch happens.
 func (c *Clock) Advance(delta uint64) {
 	c.now += delta
 	if c.ahead() {
@@ -76,7 +89,7 @@ func (c *Clock) AdvanceTo(cycle uint64) {
 	c.e.handoff(c)
 }
 
-// Yield hands the token back without changing the clock. Useful inside spin
+// Yield hands control back without changing the clock. Useful inside spin
 // loops that poll shared state at the same cycle.
 func (c *Clock) Yield() {
 	if c.ahead() {
@@ -86,8 +99,8 @@ func (c *Clock) Yield() {
 }
 
 // refreshMinOther rescans the other unfinished cores' clocks. Called only
-// while holding the token, whose channel transfer ordered every prior write
-// to e.clocks and e.done before this read.
+// while this core is the one running, so every other core's clock is at its
+// published value.
 func (c *Clock) refreshMinOther() {
 	e := c.e
 	best := -1
@@ -104,13 +117,19 @@ func (c *Clock) refreshMinOther() {
 	c.minOtherClock = bestClock
 }
 
-// Engine runs one goroutine per core under min-clock-first scheduling with a
-// single directly-handed-off token.
+// poison unwinds a core body whose engine is tearing down (stop was called on
+// its suspended coroutine after another core panicked). It is recovered
+// inside the coroutine, never observed by callers.
+type poison struct{}
+
+// Engine runs every core as a run-to-yield coroutine under a single-threaded
+// min-(clock,core)-first event loop.
 type Engine struct {
-	mu      sync.Mutex // guards started only; the token orders everything else
-	clocks  []uint64   // last published clock per core (written at handoff)
-	done    []bool     // set by a finishing core while it holds the token
-	parked  []chan struct{}
+	clocks  []uint64 // last published clock per core (written at handoff)
+	done    []bool   // set by the scheduler when a core's body returns
+	resume  []func() (struct{}, bool)
+	stop    []func()
+	next    int // core the yielding coroutine handed control to
 	started bool
 }
 
@@ -119,15 +138,12 @@ func New(n int) *Engine {
 	if n <= 0 {
 		panic(fmt.Sprintf("engine: non-positive core count %d", n))
 	}
-	e := &Engine{
+	return &Engine{
 		clocks: make([]uint64, n),
 		done:   make([]bool, n),
-		parked: make([]chan struct{}, n),
+		resume: make([]func() (struct{}, bool), n),
+		stop:   make([]func(), n),
 	}
-	for i := range e.parked {
-		e.parked[i] = make(chan struct{}, 1)
-	}
-	return e
 }
 
 // Cores returns the number of cores managed by the engine.
@@ -137,83 +153,89 @@ func (e *Engine) Cores() int { return len(e.clocks) }
 // with the smallest clock always runs first. It returns when every body has
 // returned, and reports the final per-core clocks.
 //
-// A body that panics propagates the panic out of Run after the other cores
-// are released, so test failures surface instead of deadlocking.
+// A body that panics propagates the panic out of Run after the other cores'
+// coroutines are torn down, so test failures surface instead of leaking
+// suspended state.
 func (e *Engine) Run(body func(core int, c *Clock)) []uint64 {
-	e.mu.Lock()
 	if e.started {
-		e.mu.Unlock()
 		panic("engine: Run called twice")
 	}
 	e.started = true
-	e.mu.Unlock()
 
 	n := len(e.clocks)
-	var wg sync.WaitGroup
-	wg.Add(n)
-	panics := make(chan interface{}, n)
-
 	for i := 0; i < n; i++ {
-		go func(core int) {
-			defer wg.Done()
-			c := &Clock{core: core, e: e, minOtherCore: -1}
+		core := i
+		c := &Clock{core: core, e: e, minOtherCore: -1}
+		e.resume[core], e.stop[core] = iter.Pull(func(yield func(struct{}) bool) {
 			defer func() {
 				if r := recover(); r != nil {
-					panics <- r
+					if _, torn := r.(poison); !torn {
+						panic(r)
+					}
 				}
-				e.finish(core)
 			}()
-			// Wait for the token before touching shared state; every core
-			// starts at clock 0, so the injected token reaches core 0 first
-			// and flows upward in index order, exactly as min-clock-first
-			// with index tie-breaking demands.
-			<-e.parked[core]
+			c.yield = yield
+			// The first resume reaches a core whose clock equals the
+			// scheduling minimum, exactly like the token arriving in the old
+			// engine; refresh the cache before the body's first operation.
 			c.refreshMinOther()
 			body(core, c)
 			e.clocks[core] = c.now
-		}(i)
+		})
+	}
+	// On any exit — normal or panicking — unwind every coroutine that is
+	// still suspended so no core body outlives Run.
+	defer func() {
+		for i := range e.stop {
+			e.stop[i]()
+		}
+	}()
+
+	// The event loop. All clocks start at 0 and ties break towards the
+	// lowest index, so core 0 runs first; thereafter control passes to the
+	// core the yielding clock cached as the minimum, or, when a core
+	// finishes, to the minimum of the remaining ones.
+	live := n
+	cur := 0
+	for {
+		_, suspended := e.resume[cur]()
+		if suspended {
+			// The core parked inside handoff after naming its successor.
+			cur = e.next
+			continue
+		}
+		e.done[cur] = true
+		live--
+		if live == 0 {
+			break
+		}
+		best := -1
+		for i := range e.clocks {
+			if e.done[i] {
+				continue
+			}
+			if best < 0 || e.clocks[i] < e.clocks[best] || (e.clocks[i] == e.clocks[best] && i < best) {
+				best = i
+			}
+		}
+		cur = best
 	}
 
-	// Inject the single scheduling token: all clocks are 0, ties break
-	// towards the lowest index, so core 0 runs first.
-	e.parked[0] <- struct{}{}
-
-	wg.Wait()
-	close(panics)
-	if r, ok := <-panics; ok {
-		panic(r)
-	}
 	out := make([]uint64, n)
 	copy(out, e.clocks)
 	return out
 }
 
-// handoff publishes the caller's clock, passes the token to the cached
-// minimum core and blocks until the token comes back, then refreshes the
-// caller's view of the other cores.
+// handoff publishes the caller's clock, names the cached minimum core as the
+// next to run and suspends this coroutine until the event loop resumes it,
+// then refreshes the caller's view of the other cores.
 func (e *Engine) handoff(c *Clock) {
 	e.clocks[c.core] = c.now
-	e.parked[c.minOtherCore] <- struct{}{}
-	<-e.parked[c.core]
+	e.next = c.minOtherCore
+	if !c.yield(struct{}{}) {
+		// The engine is tearing down (stop was called while suspended):
+		// unwind the body without running any more simulated work.
+		panic(poison{})
+	}
 	c.refreshMinOther()
-}
-
-// finish marks a core as completed and hands the token to whichever core
-// should run next. The finishing core holds the token (its body just
-// returned, or panicked, while running), so the writes below are ordered
-// before the receiver's resume.
-func (e *Engine) finish(core int) {
-	e.done[core] = true
-	best := -1
-	for i := range e.clocks {
-		if e.done[i] {
-			continue
-		}
-		if best < 0 || e.clocks[i] < e.clocks[best] || (e.clocks[i] == e.clocks[best] && i < best) {
-			best = i
-		}
-	}
-	if best >= 0 {
-		e.parked[best] <- struct{}{}
-	}
 }

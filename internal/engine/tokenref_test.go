@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file preserves the previous engine implementation — one goroutine per
+// core with direct token handoff over channels — verbatim (modulo renames) as
+// the reference scheduler for the parity tests. The event-loop engine must
+// reproduce its interleaving bit for bit; any intentional change to the
+// scheduling policy has to be made to both and justified against the golden
+// tables.
+
+// tokenClock is the reference engine's per-core clock.
+type tokenClock struct {
+	core int
+	now  uint64
+	e    *tokenEngine
+
+	minOtherClock uint64
+	minOtherCore  int
+}
+
+func (c *tokenClock) Core() int   { return c.core }
+func (c *tokenClock) Now() uint64 { return c.now }
+
+func (c *tokenClock) ahead() bool {
+	return c.minOtherCore < 0 || c.now < c.minOtherClock ||
+		(c.now == c.minOtherClock && c.core < c.minOtherCore)
+}
+
+func (c *tokenClock) Advance(delta uint64) {
+	c.now += delta
+	if c.ahead() {
+		return
+	}
+	c.e.handoff(c)
+}
+
+func (c *tokenClock) AdvanceTo(cycle uint64) {
+	if cycle > c.now {
+		c.now = cycle
+	}
+	if c.ahead() {
+		return
+	}
+	c.e.handoff(c)
+}
+
+func (c *tokenClock) Yield() {
+	if c.ahead() {
+		return
+	}
+	c.e.handoff(c)
+}
+
+func (c *tokenClock) refreshMinOther() {
+	e := c.e
+	best := -1
+	var bestClock uint64
+	for i := range e.clocks {
+		if i == c.core || e.done[i] {
+			continue
+		}
+		if best < 0 || e.clocks[i] < bestClock {
+			best, bestClock = i, e.clocks[i]
+		}
+	}
+	c.minOtherCore = best
+	c.minOtherClock = bestClock
+}
+
+// tokenEngine runs one goroutine per core under min-clock-first scheduling
+// with a single directly-handed-off token.
+type tokenEngine struct {
+	mu      sync.Mutex
+	clocks  []uint64
+	done    []bool
+	parked  []chan struct{}
+	started bool
+}
+
+func newTokenEngine(n int) *tokenEngine {
+	if n <= 0 {
+		panic(fmt.Sprintf("engine: non-positive core count %d", n))
+	}
+	e := &tokenEngine{
+		clocks: make([]uint64, n),
+		done:   make([]bool, n),
+		parked: make([]chan struct{}, n),
+	}
+	for i := range e.parked {
+		e.parked[i] = make(chan struct{}, 1)
+	}
+	return e
+}
+
+func (e *tokenEngine) Run(body func(core int, c *tokenClock)) []uint64 {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		panic("engine: Run called twice")
+	}
+	e.started = true
+	e.mu.Unlock()
+
+	n := len(e.clocks)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	panics := make(chan interface{}, n)
+
+	for i := 0; i < n; i++ {
+		go func(core int) {
+			defer wg.Done()
+			c := &tokenClock{core: core, e: e, minOtherCore: -1}
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- r
+				}
+				e.finish(core)
+			}()
+			<-e.parked[core]
+			c.refreshMinOther()
+			body(core, c)
+			e.clocks[core] = c.now
+		}(i)
+	}
+
+	e.parked[0] <- struct{}{}
+
+	wg.Wait()
+	close(panics)
+	if r, ok := <-panics; ok {
+		panic(r)
+	}
+	out := make([]uint64, n)
+	copy(out, e.clocks)
+	return out
+}
+
+func (e *tokenEngine) handoff(c *tokenClock) {
+	e.clocks[c.core] = c.now
+	e.parked[c.minOtherCore] <- struct{}{}
+	<-e.parked[c.core]
+	c.refreshMinOther()
+}
+
+func (e *tokenEngine) finish(core int) {
+	e.done[core] = true
+	best := -1
+	for i := range e.clocks {
+		if e.done[i] {
+			continue
+		}
+		if best < 0 || e.clocks[i] < e.clocks[best] || (e.clocks[i] == e.clocks[best] && i < best) {
+			best = i
+		}
+	}
+	if best >= 0 {
+		e.parked[best] <- struct{}{}
+	}
+}

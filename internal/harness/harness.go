@@ -19,6 +19,7 @@ import (
 	"dhtm/internal/registry"
 	"dhtm/internal/resultstore"
 	"dhtm/internal/runner"
+	"dhtm/internal/snapshot"
 	"dhtm/internal/txn"
 	"dhtm/internal/workloads"
 )
@@ -46,34 +47,39 @@ func NewRuntime(env *txn.Env, design string) (txn.Runtime, error) {
 	return registry.NewRuntime(env, design)
 }
 
-// Execute is the cell-runner callback: it builds a fresh, fully isolated
-// machine for the cell (Table III configuration plus the cell's core count
-// and overrides) and runs it to completion. It is safe to call from many
-// goroutines at once — nothing is shared between invocations.
+// Execute is the cell-runner callback: it builds a fully isolated machine
+// for the cell (Table III configuration plus the cell's core count and
+// overrides) and runs it to completion. The setup phase is amortized through
+// the process-wide snapshot cache — the cell's store is a copy-on-write
+// clone of the post-Setup image for its (config, workload, params) key — and
+// the cache arrays are drawn from and returned to the hierarchy pools. It is
+// safe to call from many goroutines at once: snapshot images are frozen, and
+// everything mutable is per-invocation.
 func Execute(cell runner.Cell) (workloads.RunResult, error) {
 	cfg := config.Default()
 	if cell.Cores > 0 {
 		cfg.NumCores = cell.Cores
 	}
 	cfg = cell.Overrides.Apply(cfg)
-	env, err := txn.NewEnv(cfg)
+	p := workloads.Params{Cores: cfg.NumCores, Seed: cell.Seed, OpsPerTx: cell.OpsPerTx}
+	prep, err := snapshot.Default.Prepare(cfg, cell.Workload, p)
 	if err != nil {
 		return workloads.RunResult{}, err
 	}
+	env, err := txn.NewEnvOn(cfg, prep.NewStore())
+	if err != nil {
+		return workloads.RunResult{}, err
+	}
+	defer env.Release()
 	rt, err := NewRuntime(env, cell.Design)
 	if err != nil {
 		return workloads.RunResult{}, err
 	}
-	w, err := registry.NewWorkload(cell.Workload)
-	if err != nil {
-		return workloads.RunResult{}, err
-	}
-	p := workloads.Params{Cores: cfg.NumCores, Seed: cell.Seed, OpsPerTx: cell.OpsPerTx}
 	txPerCore := cell.TxPerCore
 	if txPerCore <= 0 {
 		txPerCore = 16
 	}
-	return workloads.Run(env, rt, w, p, txPerCore, true)
+	return workloads.RunPrepared(env, rt, prep.Workload, p, txPerCore, true, nil, nil)
 }
 
 // Options scales the experiments (Quick shrinks transaction counts so the

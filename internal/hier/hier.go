@@ -14,6 +14,7 @@ package hier
 
 import (
 	"fmt"
+	"sync"
 
 	"dhtm/internal/cache"
 	"dhtm/internal/config"
@@ -115,20 +116,65 @@ type Hierarchy struct {
 	ctl *memdev.Controller
 }
 
+// cacheGeom keys the recycling pools: caches are interchangeable exactly when
+// their geometry matches.
+type cacheGeom struct{ size, ways, line int }
+
+// cachePools recycles cache arrays across cells. An 8 MB LLC is a ~14 MB Line
+// slab whose allocation and zeroing dominated cell construction; with O(1)
+// generation-based Clear, a pooled array is indistinguishable from a fresh
+// one, so sweeps reuse arrays instead of re-allocating per cell. The map is
+// cacheGeom → *sync.Pool.
+var cachePools sync.Map
+
+// newPooledCache returns a cleared cache of the given geometry, recycled when
+// one is available.
+func newPooledCache(size, ways, line int) *cache.Cache {
+	pv, _ := cachePools.LoadOrStore(cacheGeom{size, ways, line}, &sync.Pool{})
+	if c, ok := pv.(*sync.Pool).Get().(*cache.Cache); ok {
+		c.Clear()
+		return c
+	}
+	return cache.New(size, ways, line)
+}
+
+// recycleCache returns a cache array to its geometry's pool.
+func recycleCache(c *cache.Cache) {
+	g := cacheGeom{size: c.Lines() * c.LineSize(), ways: c.Ways(), line: c.LineSize()}
+	if pv, ok := cachePools.Load(g); ok {
+		pv.(*sync.Pool).Put(c)
+	}
+}
+
 // New builds the hierarchy described by cfg on top of the given memory
 // controller. The arbiter defaults to NopArbiter until SetArbiter is called.
+// Cache arrays are drawn from per-geometry recycling pools; call Release when
+// the hierarchy is done to return them.
 func New(cfg config.Config, ctl *memdev.Controller, st *stats.Stats) *Hierarchy {
 	h := &Hierarchy{
 		cfg: cfg,
 		arb: NopArbiter{},
 		st:  st,
-		llc: cache.New(cfg.LLCSize, cfg.LLCWays, cfg.LineSize),
+		llc: newPooledCache(cfg.LLCSize, cfg.LLCWays, cfg.LineSize),
 		ctl: ctl,
 	}
 	for i := 0; i < cfg.NumCores; i++ {
-		h.l1s = append(h.l1s, cache.New(cfg.L1Size, cfg.L1Ways, cfg.LineSize))
+		h.l1s = append(h.l1s, newPooledCache(cfg.L1Size, cfg.L1Ways, cfg.LineSize))
 	}
 	return h
+}
+
+// Release returns the hierarchy's cache arrays to the recycling pools. The
+// hierarchy must not be used afterwards.
+func (h *Hierarchy) Release() {
+	if h.llc == nil {
+		return
+	}
+	recycleCache(h.llc)
+	for _, l1 := range h.l1s {
+		recycleCache(l1)
+	}
+	h.llc, h.l1s = nil, nil
 }
 
 // SetArbiter installs the transactional design's conflict arbiter.

@@ -19,6 +19,28 @@ func BenchmarkStoreWriteWord(b *testing.B) {
 	}
 }
 
+// BenchmarkSnapshotClone measures cloning a frozen setup-sized image (16 MB
+// of touched lines) and dirtying a small working set, the per-cell cost the
+// setup-snapshot cache pays instead of re-running workload Setup.
+func BenchmarkSnapshotClone(b *testing.B) {
+	b.ReportAllocs()
+	img := NewStore()
+	const span = 16 << 20 // 16 MB populated image, ~512 pages
+	for a := uint64(0); a < span; a += 64 {
+		img.WriteWord(a, a)
+	}
+	img.Freeze()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := img.Clone()
+		// Touch 32 scattered lines — a cell's early writes — so the bench
+		// includes the copy-on-write slab copies, not just the table copy.
+		for j := uint64(0); j < 32; j++ {
+			c.WriteWord((j*(span/32))%span, j)
+		}
+	}
+}
+
 // BenchmarkStoreReadWord measures the read path against the same layout.
 func BenchmarkStoreReadWord(b *testing.B) {
 	b.ReportAllocs()

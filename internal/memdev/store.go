@@ -53,12 +53,30 @@ type page struct {
 // Store is the durable backing store: a sparse, two-level page table mapping
 // line-aligned addresses to line slabs. Reads of never-written memory return
 // zeroes, like freshly allocated persistent memory.
+//
+// Stores support copy-on-write cloning: Clone shares the root page slabs
+// between the two images and the first write to a shared page — on either
+// side — copies just that 32 KB slab. A store can additionally be frozen into
+// an immutable snapshot image (Freeze), after which writes panic and Clone is
+// safe to call from multiple goroutines concurrently.
 type Store struct {
 	root []*page          // indexed by page number, grown on demand
 	far  map[uint64]*page // pages at or above rootPages (cold fallback)
 	// populated counts lines whose written bit is set, i.e. distinct lines
 	// ever written.
 	populated int
+
+	// owned is a bitmap over root page numbers marking slabs this store may
+	// mutate in place. A page without its bit set is shared with another
+	// image (or inherited from a snapshot) and is copied on first write.
+	// Never-cloned stores own every page they allocate, so the write fast
+	// path stays a bitmap test. Far pages are deep-copied at Clone and are
+	// always owned.
+	owned []uint64
+	// frozen marks an immutable snapshot image: writes panic. A frozen store
+	// owns nothing (owned is nil), so Clone performs no writes to it and may
+	// run concurrently.
+	frozen bool
 }
 
 // NewStore returns an empty persistent-memory image.
@@ -84,8 +102,56 @@ func (s *Store) pageOf(addr uint64) *page {
 	return s.far[pn]
 }
 
+// ownedPage reports whether this store may mutate the root page pn in place.
+func (s *Store) ownedPage(pn uint64) bool {
+	w := pn >> 6
+	return w < uint64(len(s.owned)) && s.owned[w]&(1<<(pn&63)) != 0
+}
+
+// setOwned marks root page pn as exclusively this store's.
+func (s *Store) setOwned(pn uint64) {
+	w := pn >> 6
+	for uint64(len(s.owned)) <= w {
+		s.owned = append(s.owned, 0)
+	}
+	s.owned[w] |= 1 << (pn & 63)
+}
+
+// writable returns the page containing addr with this store holding exclusive
+// ownership of its slab, so the caller may mutate it. The fast path — an
+// already-owned allocated root page — is two array indexes and a mask.
+func (s *Store) writable(addr uint64) *page {
+	pn := addr >> pageByteShift
+	if pn < uint64(len(s.root)) {
+		if p := s.root[pn]; p != nil && s.ownedPage(pn) {
+			return p
+		}
+	}
+	return s.writableSlow(addr)
+}
+
+// writableSlow handles the cold write cases: frozen images (panic), shared
+// pages (copy the slab), and first-touch allocation.
+func (s *Store) writableSlow(addr uint64) *page {
+	if s.frozen {
+		panic(fmt.Sprintf("memdev: write at %#x to frozen store image", addr))
+	}
+	pn := addr >> pageByteShift
+	if pn < uint64(len(s.root)) {
+		if p := s.root[pn]; p != nil {
+			// Shared with another image: copy the 32 KB slab before writing.
+			cp := new(page)
+			*cp = *p
+			s.root[pn] = cp
+			s.setOwned(pn)
+			return cp
+		}
+	}
+	return s.ensurePage(addr)
+}
+
 // ensurePage returns the page containing addr, allocating its slab on first
-// touch.
+// touch. A newly allocated page is exclusively this store's.
 func (s *Store) ensurePage(addr uint64) *page {
 	pn := addr >> pageByteShift
 	if pn < rootPages {
@@ -107,6 +173,7 @@ func (s *Store) ensurePage(addr uint64) *page {
 		if p == nil {
 			p = new(page)
 			s.root[pn] = p
+			s.setOwned(pn)
 		}
 		return p
 	}
@@ -142,7 +209,7 @@ func (s *Store) ReadWord(addr uint64) uint64 {
 
 // WriteWord stores an 8-byte word at addr (addr must be 8-byte aligned).
 func (s *Store) WriteWord(addr uint64, val uint64) {
-	p := s.ensurePage(addr)
+	p := s.writable(addr)
 	slot := int((addr >> 6) & pageLineMask)
 	s.markWritten(p, slot)
 	p.lines[slot][wordIndex(addr)] = val
@@ -159,7 +226,7 @@ func (s *Store) ReadLine(addr uint64) Line {
 
 // WriteLine replaces the entire line containing addr.
 func (s *Store) WriteLine(addr uint64, data Line) {
-	p := s.ensurePage(addr)
+	p := s.writable(addr)
 	slot := int((addr >> 6) & pageLineMask)
 	s.markWritten(p, slot)
 	p.lines[slot] = data
@@ -202,18 +269,19 @@ func (s *Store) ForEachLine(f func(addr uint64, data Line)) {
 	})
 }
 
-// Clone returns a deep copy of the store, useful for before/after comparisons
-// in crash-recovery tests.
+// Clone returns an independent image with identical contents. The copy is
+// lazy: both images share the root page slabs, and the first write to a
+// shared page on either side copies just that slab. Cloning a frozen store
+// writes nothing to it, so concurrent Clone calls on a frozen image are safe;
+// cloning a live store is single-goroutine only (it drops the source's page
+// ownership so later source writes copy too). Far pages — outside the 2 GB
+// simulated range — are deep-copied eagerly; they are cold and almost always
+// absent.
 func (s *Store) Clone() *Store {
 	c := &Store{populated: s.populated}
 	if len(s.root) > 0 {
 		c.root = make([]*page, len(s.root))
-		for pn, p := range s.root {
-			if p != nil {
-				cp := *p
-				c.root[pn] = &cp
-			}
-		}
+		copy(c.root, s.root)
 	}
 	if len(s.far) > 0 {
 		c.far = make(map[uint64]*page, len(s.far))
@@ -222,8 +290,27 @@ func (s *Store) Clone() *Store {
 			c.far[pn] = &cp
 		}
 	}
+	// Neither image owns the shared slabs any more. A frozen source has no
+	// ownership to drop (and must not be written even transiently).
+	if !s.frozen {
+		for i := range s.owned {
+			s.owned[i] = 0
+		}
+	}
 	return c
 }
+
+// Freeze turns the store into an immutable snapshot image: any subsequent
+// write panics, and Clone may be called concurrently from multiple
+// goroutines. Freezing is irreversible — to mutate the contents again, work
+// on a Clone.
+func (s *Store) Freeze() {
+	s.frozen = true
+	s.owned = nil
+}
+
+// Frozen reports whether the store has been frozen into an immutable image.
+func (s *Store) Frozen() bool { return s.frozen }
 
 // snapshot is the gob wire format for a Store image.
 type snapshot struct {
@@ -253,6 +340,9 @@ func (s *Store) Load(r io.Reader) error {
 	}
 	if len(snap.Addrs) != len(snap.Data) {
 		return fmt.Errorf("memdev: corrupt store image: %d addresses, %d lines", len(snap.Addrs), len(snap.Data))
+	}
+	if s.frozen {
+		panic("memdev: Load into frozen store image")
 	}
 	*s = Store{}
 	for i, a := range snap.Addrs {

@@ -16,7 +16,7 @@
 //	DELETE /jobs/{id}        cancel a queued or running job -> Status
 //	GET    /jobs/{id}/events Server-Sent Events progress stream
 //	GET    /jobs/{id}/tables rendered harness tables (text/plain)
-//	GET    /store            result-store metrics
+//	GET    /store            result-store and snapshot-cache metrics
 //	GET    /catalog          experiments, designs, workloads the service runs
 //	GET    /healthz          liveness (also at top level /healthz)
 package serve
@@ -41,6 +41,7 @@ import (
 	"dhtm/internal/resultstore"
 	"dhtm/internal/runner"
 	"dhtm/internal/scenario"
+	"dhtm/internal/snapshot"
 )
 
 // Config assembles a server.
@@ -156,8 +157,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"dir":     s.cfg.Store.Dir(),
-		"metrics": s.cfg.Store.Metrics(),
+		"dir":       s.cfg.Store.Dir(),
+		"metrics":   s.cfg.Store.Metrics(),
+		"snapshots": snapshot.Default.Metrics(),
 	})
 }
 

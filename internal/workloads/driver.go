@@ -63,6 +63,22 @@ func RunInstrumented(env *txn.Env, rt txn.Runtime, w Workload, p Params, txPerCo
 	if err := w.Setup(heap, p); err != nil {
 		return RunResult{}, fmt.Errorf("workloads: setting up %s: %w", w.Name(), err)
 	}
+	return RunPrepared(env, rt, w, p, txPerCore, finish, arm, stop)
+}
+
+// RunPrepared is RunInstrumented for an environment whose store already
+// contains the workload's post-Setup image (a copy-on-write clone of a
+// cached setup snapshot): it skips Setup and goes straight to the measured
+// run. w must be the workload object that performed that Setup — workloads
+// are read-only after Setup, so a snapshot-cache entry shares one object
+// across cells. p must carry the same values the image was set up with;
+// RunPrepared re-defaults it, so passing the pre-default parameter set of an
+// equal key is fine.
+func RunPrepared(env *txn.Env, rt txn.Runtime, w Workload, p Params, txPerCore int, finish bool, arm func(), stop func() bool) (RunResult, error) {
+	p = p.Defaults()
+	if p.Cores != env.Cfg.NumCores {
+		p.Cores = env.Cfg.NumCores
+	}
 	if arm != nil {
 		arm()
 	}

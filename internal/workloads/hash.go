@@ -113,8 +113,26 @@ func (h *hashWL) windowOf(key uint64) uint64 {
 }
 
 // keyInWindow draws a key whose bucket falls inside the given partition and
-// window.
+// window. Rejection sampling here dominates transaction generation (~1/128
+// of draws are accepted at the default geometry), so the accept test matters:
+// when the partition and window grids align — partitions divides numBuckets
+// and hashWindowsPerPartition divides the partition size, true for every
+// power-of-two configuration — the accepted bucket indices form one
+// contiguous range and each draw needs a single subtract-and-compare instead
+// of four divisions. The draw and accept sequence is provably identical to
+// the general predicate, so golden tables do not move.
 func (h *hashWL) keyInWindow(rng *rand.Rand, part, window uint64) uint64 {
+	bucketsPerPart := uint64(h.numBuckets / h.partitions)
+	if uint64(h.numBuckets) == bucketsPerPart*uint64(h.partitions) && bucketsPerPart%hashWindowsPerPartition == 0 {
+		span := bucketsPerPart / hashWindowsPerPartition
+		lo := part*bucketsPerPart + window*span
+		for {
+			key := rng.Uint64()%h.keySpace + 1
+			if (key*0x9e3779b97f4a7c15)&h.bucketMask-lo < span {
+				return key
+			}
+		}
+	}
 	for {
 		key := rng.Uint64()%h.keySpace + 1
 		if h.partitionOf(key) == part && h.windowOf(key) == window {
@@ -133,11 +151,17 @@ func (h *hashWL) Next(core int, rng *rand.Rand) *txn.Transaction {
 	// attributes to coarse-grained locking (§VI-A).
 	part := uint64(rng.Intn(h.partitions))
 	window := rng.Uint64() % hashWindowsPerPartition
-	keys := make([]uint64, h.opsPerTx)
-	inserts := make([]bool, h.opsPerTx)
+	// One backing slice per transaction: the keys, then a bitmask of which
+	// ops are inserts. Transaction generation runs once per simulated
+	// transaction, so the saved allocation is visible in every benchmark.
+	maskWords := (h.opsPerTx + 63) / 64
+	buf := make([]uint64, h.opsPerTx+maskWords)
+	keys, insertMask := buf[:h.opsPerTx], buf[h.opsPerTx:]
 	for i := range keys {
 		keys[i] = h.keyInWindow(rng, part, window)
-		inserts[i] = rng.Intn(2) == 0
+		if rng.Intn(2) == 0 {
+			insertMask[i/64] |= 1 << (i % 64)
+		}
 	}
 	return &txn.Transaction{
 		Label:   "hash-batch",
@@ -154,7 +178,7 @@ func (h *hashWL) Next(core int, rng *rand.Rand) *txn.Transaction {
 						break
 					}
 				}
-				if inserts[i] {
+				if insertMask[i/64]&(1<<(i%64)) != 0 {
 					if found >= 0 || cnt >= hashSlotsPerBucket {
 						continue
 					}

@@ -1,0 +1,44 @@
+package workloads
+
+import "testing"
+
+// TestKeyInWindowFastPathMatchesPredicate proves the contiguous-range accept
+// test used by keyInWindow's fast path is equivalent to the general
+// partition+window predicate for every key in the key space, across aligned
+// geometries. Equivalence of the per-draw accept decision is what guarantees
+// the rng draw sequence — and therefore every golden table — is unchanged.
+func TestKeyInWindowFastPathMatchesPredicate(t *testing.T) {
+	for _, partitions := range []int{1, 2, 4, 8, 16, 32} {
+		h := &hashWL{
+			numBuckets: 16384,
+			bucketMask: 16383,
+			partitions: partitions,
+			keySpace:   uint64(16384 * hashSlotsPerBucket * 2),
+		}
+		bucketsPerPart := uint64(h.numBuckets / h.partitions)
+		if uint64(h.numBuckets) != bucketsPerPart*uint64(h.partitions) || bucketsPerPart%hashWindowsPerPartition != 0 {
+			t.Fatalf("partitions=%d: geometry unexpectedly unaligned", partitions)
+		}
+		span := bucketsPerPart / hashWindowsPerPartition
+		for key := uint64(1); key <= h.keySpace; key++ {
+			idx := (key * 0x9e3779b97f4a7c15) & h.bucketMask
+			part := h.partitionOf(key)
+			window := h.windowOf(key)
+			lo := part*bucketsPerPart + window*span
+			// The fast path accepts key for (part, window) iff idx-lo < span;
+			// the general predicate accepts iff partitionOf/windowOf match.
+			// Check both directions: the key is accepted for its own
+			// (part, window) and for no adjacent window.
+			if idx-lo >= span {
+				t.Fatalf("partitions=%d key=%d: fast path rejects its own window (idx=%d lo=%d span=%d)",
+					partitions, key, idx, lo, span)
+			}
+			otherW := (window + 1) % hashWindowsPerPartition
+			otherLo := part*bucketsPerPart + otherW*span
+			if otherW != window && idx-otherLo < span {
+				t.Fatalf("partitions=%d key=%d: fast path accepts window %d, belongs to %d",
+					partitions, key, otherW, window)
+			}
+		}
+	}
+}

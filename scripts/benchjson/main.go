@@ -2,13 +2,24 @@
 // document so CI can archive benchmark runs as machine-readable artifacts
 // (BENCH_<n>.json) and future PRs can chart the performance trajectory.
 //
-// Usage: benchjson [bench-output-file]   (reads stdin when no file is given)
+// With -baseline it additionally compares the run against a committed
+// BENCH_<n>.json and exits non-zero on regression: allocs/op and B/op are
+// deterministic and compared on every host, ns/op only when the baseline was
+// recorded on the same CPU (wall-clock across different machines is noise,
+// not signal). The tolerance is 15%, except a zero-alloc baseline, which
+// must stay at exactly zero.
+//
+// Usage: benchjson [-baseline BENCH_n.json] [bench-output-file]
+//
+//	(reads stdin when no bench-output-file is given)
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -35,9 +46,12 @@ type document struct {
 }
 
 func main() {
+	baseline := flag.String("baseline", "", "committed BENCH_<n>.json to compare against; exits 1 on >15% regression")
+	flag.Parse()
+
 	in := os.Stdin
-	if len(os.Args) > 1 {
-		f, err := os.Open(os.Args[1])
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			os.Exit(1)
@@ -46,6 +60,37 @@ func main() {
 		in = f
 	}
 
+	doc, err := parse(in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: reading input: %v\n", err)
+		os.Exit(1)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *baseline != "" {
+		base, err := load(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if failures := compare(base, doc); len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s\n", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: no regression against %s\n", *baseline)
+	}
+}
+
+// parse scans `go test -bench` output into a document.
+func parse(in io.Reader) (document, error) {
 	doc := document{GeneratedAt: time.Now().UTC().Format(time.RFC3339)}
 	sc := bufio.NewScanner(in)
 	for sc.Scan() {
@@ -63,17 +108,74 @@ func main() {
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: reading input: %v\n", err)
-		os.Exit(1)
-	}
+	return doc, sc.Err()
+}
 
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+// load reads a previously emitted document.
+func load(path string) (document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return document{}, err
 	}
+	defer f.Close()
+	var doc document
+	if err := json.NewDecoder(f).Decode(&doc); err != nil {
+		return document{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// regressionTolerance is how much worse a metric may get before the compare
+// fails. Benchmarks with a zero-alloc baseline are exempt from the slack:
+// they must stay at exactly zero.
+const regressionTolerance = 1.15
+
+// baseName strips the trailing -GOMAXPROCS suffix so runs on machines with
+// different core counts still pair up.
+func baseName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// compare pairs benchmarks by name and reports every metric that regressed
+// beyond the tolerance. Benchmarks present on only one side are skipped —
+// the baseline pins the benchmarks it records, nothing more.
+func compare(base, cur document) []string {
+	current := make(map[string]result, len(cur.Results))
+	for _, r := range cur.Results {
+		current[baseName(r.Name)] = r
+	}
+	sameCPU := base.CPU != "" && base.CPU == cur.CPU
+	if !sameCPU {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline CPU %q != current %q; comparing allocs/op and B/op only\n", base.CPU, cur.CPU)
+	}
+	var failures []string
+	for _, b := range base.Results {
+		c, ok := current[baseName(b.Name)]
+		if !ok {
+			continue
+		}
+		name := baseName(b.Name)
+		if b.AllocsPerOp != nil && c.AllocsPerOp != nil {
+			switch {
+			case *b.AllocsPerOp == 0 && *c.AllocsPerOp != 0:
+				failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f, baseline is allocation-free", name, *c.AllocsPerOp))
+			case *c.AllocsPerOp > *b.AllocsPerOp*regressionTolerance:
+				failures = append(failures, fmt.Sprintf("%s: allocs/op %.0f vs baseline %.0f (>15%%)", name, *c.AllocsPerOp, *b.AllocsPerOp))
+			}
+		}
+		if b.BytesPerOp != nil && c.BytesPerOp != nil && *c.BytesPerOp > *b.BytesPerOp*regressionTolerance {
+			failures = append(failures, fmt.Sprintf("%s: B/op %.0f vs baseline %.0f (>15%%)", name, *c.BytesPerOp, *b.BytesPerOp))
+		}
+		if sameCPU && c.NsPerOp > b.NsPerOp*regressionTolerance {
+			failures = append(failures, fmt.Sprintf("%s: ns/op %.0f vs baseline %.0f (>15%%)", name, c.NsPerOp, b.NsPerOp))
+		}
+	}
+	return failures
 }
 
 // parseBench parses one benchmark result line of the form
