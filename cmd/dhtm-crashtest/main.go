@@ -1,17 +1,24 @@
 // Command dhtm-crashtest runs the crash-point exploration subsystem: it
 // measures a workload run's persist-event space (every durable write is a
 // numbered crash point), re-runs the workload with a crash injected at each
-// selected point, recovers the resulting image and checks the three
-// durability oracles (workload invariants, prefix consistency, recovery
-// idempotency). Exploration fans out across a worker pool and is fully
-// deterministic, so any reported failure reproduces from its point index.
+// selected point, recovers the resulting image and checks the durability
+// oracles (workload invariants, prefix consistency, recovery idempotency,
+// and — with -differential — agreement with a serial re-execution of the
+// committed transactions). With -window W the persist-queue reordering
+// adversary additionally fans each point out into one crash image per subset
+// of the in-flight write window. Exploration fans out across a worker pool
+// and is fully deterministic, so any reported failure reproduces from its
+// point index (plus -window/-mask when the adversary was in play).
 //
 // Examples:
 //
 //	dhtm-crashtest -design DHTM -workload hash                  # exhaustive
 //	dhtm-crashtest -design DHTM,ATOM -workload hash,queue -mode stride -samples 64
 //	dhtm-crashtest -design DHTM -workload queue -torn -mode random -samples 128
+//	dhtm-crashtest -design DHTM -workload hash -window 3        # reordering adversary
+//	dhtm-crashtest -design DHTM,LogTM-ATOM -workload hash -window 2 -differential
 //	dhtm-crashtest -design DHTM -workload hash -point 1234      # one point
+//	dhtm-crashtest -design DHTM -workload hash -point 1234 -window 3 -mask 0x5
 //	dhtm-crashtest -scenario examples/scenarios/crashtest-quick.json
 package main
 
@@ -45,6 +52,11 @@ func main() {
 	samples := flag.Int("samples", 0, "target point count (stride and random modes)")
 	point := flag.Int("point", -1, "explore exactly this crash point (repro mode; overrides -mode)")
 	torn := flag.Bool("torn", false, "tear the in-flight write at each point (a seed-derived word prefix reaches memory)")
+	window := flag.Int("window", 0, "persist-queue reordering window W: any subset of the last W non-drain writes may be lost at a crash (0 = strictly ordered)")
+	masks := flag.String("masks", "auto", "adversary subset enumeration per point: auto, exhaustive, sample")
+	maskSamples := flag.Int("mask-samples", 0, "subsets per point in sample mode (0 = 16)")
+	mask := flag.String("mask", "", "replay exactly this adversary mask (hex or decimal; requires -point and -window)")
+	differential := flag.Bool("differential", false, "enable the differential oracle: recovered images must match serial re-execution of the committed transactions, and designs are cross-checked against each other")
 	parallel := flag.Int("parallel", 0, "points to explore concurrently (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON reports on stdout")
 	progress := flag.Bool("progress", false, "log per-point completion to stderr")
@@ -56,7 +68,8 @@ func main() {
 		// The scenario file owns the semantic knobs; flags that would
 		// silently fight it are rejected rather than ignored.
 		if conflict := scenario.FlagConflict("design", "workload", "cores", "tx", "ops",
-			"seed", "mode", "stride", "samples", "point", "torn"); conflict != "" {
+			"seed", "mode", "stride", "samples", "point", "torn",
+			"window", "masks", "mask-samples", "mask", "differential"); conflict != "" {
 			misuse("-%s cannot be combined with -scenario (the scenario file pins it)", conflict)
 		}
 		doc, err := scenario.Load(*scenarioPath)
@@ -101,13 +114,27 @@ func main() {
 			if len(designs) > 1 || len(wls) > 1 {
 				misuse("-point repro mode requires a single design and workload")
 			}
-			sel = crashtest.Selection{Mode: "point", Point: *point}
+			sel = crashtest.Selection{Mode: "point", Point: *point, Mask: *mask}
+		} else if *mask != "" {
+			misuse("-mask replays one adversary choice and requires -point")
+		}
+		maskMode := *masks
+		if maskMode == "auto" {
+			maskMode = "" // the explorer's default
+		}
+		adv := crashtest.AdversaryConfig{Window: *window, Mode: maskMode, Samples: *maskSamples}
+		if err := adv.Validate(); err != nil {
+			misuse("%v", err)
+		}
+		if *mask != "" && *window == 0 {
+			misuse("-mask describes in-flight writes and requires -window > 0")
 		}
 		for _, d := range designs {
 			for _, w := range wls {
 				configs = append(configs, crashtest.Config{
 					Design: d, Workload: w, Cores: *cores, TxPerCore: *tx, OpsPerTx: *ops,
-					Seed: *seed, Torn: *torn, Points: sel,
+					Seed: *seed, Torn: *torn, Adversary: adv, Differential: *differential,
+					Points: sel,
 				})
 			}
 		}
@@ -145,6 +172,13 @@ func main() {
 		}
 	}
 
+	// The fleet-level half of the differential oracle: designs that explored
+	// the same committed sequences must agree on the recovered heap.
+	if err := crashtest.CrossCheck(reports); err != nil {
+		failed = true
+		fmt.Fprintf(os.Stderr, "dhtm-crashtest: %v\n", err)
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -159,13 +193,23 @@ func main() {
 
 // render prints one report in a compact human-readable form.
 func render(r *crashtest.Report) {
-	torn := ""
+	extras := ""
 	if r.Torn {
-		torn = " torn"
+		extras += " torn"
 	}
-	fmt.Printf("%s/%s (cores=%d tx=%d seed=%d%s): %d persist events, explored %d, %d failed  [%v]\n",
-		r.Design, r.Workload, r.Cores, r.TxPerCore, r.BaseSeed, torn,
-		r.TotalPoints, r.Explored, r.Failed, time.Duration(r.ElapsedNS).Round(time.Millisecond))
+	if r.Adversary.Window > 0 {
+		extras += fmt.Sprintf(" window=%d", r.Adversary.Window)
+	}
+	if r.Differential {
+		extras += " differential"
+	}
+	images := ""
+	if r.Tasks > 0 {
+		images = fmt.Sprintf(" (%d crash images)", r.Tasks)
+	}
+	fmt.Printf("%s/%s (cores=%d tx=%d seed=%d%s): %d persist events, explored %d%s, %d failed  [%v]\n",
+		r.Design, r.Workload, r.Cores, r.TxPerCore, r.BaseSeed, extras,
+		r.TotalPoints, r.Explored, images, r.Failed, time.Duration(r.ElapsedNS).Round(time.Millisecond))
 	keys := make([]string, 0, len(r.EventsByClass))
 	for k := range r.EventsByClass {
 		keys = append(keys, k)
@@ -178,8 +222,12 @@ func render(r *crashtest.Report) {
 	fmt.Printf("  events: %s\n", strings.Join(parts, " "))
 	fmt.Printf("  replays/point: %s   rollbacks/point: %s\n", intHistLine(r.ReplayHist), intHistLine(r.RollbackHist))
 	if r.FirstFailure != nil {
-		fmt.Printf("  FIRST FAILURE at point %d (%s): %s\n  reproduce: %s\n",
-			r.FirstFailure.Point, r.FirstFailure.Class, r.FirstFailure.Err, r.Repro)
+		where := fmt.Sprintf("point %d (%s)", r.FirstFailure.Point, r.FirstFailure.Class)
+		if r.FirstFailure.Mask != "" {
+			where += fmt.Sprintf(" mask %s of %d in flight", r.FirstFailure.Mask, r.FirstFailure.Window)
+		}
+		fmt.Printf("  FIRST FAILURE at %s: %s\n  reproduce: %s\n",
+			where, r.FirstFailure.Err, r.Repro)
 	}
 }
 

@@ -1,0 +1,108 @@
+package baselines
+
+import (
+	"dhtm/internal/htm"
+	"dhtm/internal/memdev"
+	"dhtm/internal/txn"
+	"dhtm/internal/wal"
+)
+
+// StaleUndoATOM is a deliberately broken ATOM variant used as a test fixture
+// for the crashtest differential oracle. It is NOT registered in the design
+// registry — internal/crashtest reaches it through Config.Factory.
+//
+// The bug it seeds is the class the undo baselines are most exposed to (and
+// the class a real LogTM-ATOM write-snapshot bug in this repo once fell
+// into): a stale pre-image in the undo record. Here the cache controller
+// "optimizes" undo logging by caching the pre-image it captured the first
+// time it logged a line and reusing it in later transactions instead of
+// re-snapshotting coherent memory. The cached image is stale the moment any
+// transaction — including the caching core's own — commits to the line, so
+// a crash that rolls the later transaction back restores the pre-image from
+// *before the earlier committed transaction*, silently erasing its durable
+// update.
+//
+// Crucially, every per-point oracle short of the differential one is blind
+// to this: the recovered image is a structurally valid former state, so the
+// workload's Verify passes; the prefix oracle rolls back with the same
+// poisoned undo records recovery reads, so it agrees with recovery; and a
+// second recovery is still a no-op. Only serial re-execution of the
+// committed transactions — ground truth no undo record can poison — sees
+// the committed write missing.
+type StaleUndoATOM struct {
+	*lockBase
+	prev []map[uint64]memdev.Line // per-core cached undo pre-images
+}
+
+// NewStaleUndoATOM builds the broken-fixture runtime.
+func NewStaleUndoATOM(env *txn.Env) *StaleUndoATOM {
+	prev := make([]map[uint64]memdev.Line, env.Cfg.NumCores)
+	for i := range prev {
+		prev[i] = make(map[uint64]memdev.Line)
+	}
+	return &StaleUndoATOM{lockBase: newLockBase(env), prev: prev}
+}
+
+// Name implements txn.Runtime.
+func (a *StaleUndoATOM) Name() string { return "StaleUndoATOM" }
+
+// Run implements txn.Runtime. It is ATOM's commit protocol verbatim except
+// for the poisoned undo pre-image source and the post-commit cache refresh.
+func (a *StaleUndoATOM) Run(core int, c txn.Clock, t *txn.Transaction) txn.ExecResult {
+	res := txn.ExecResult{Start: c.Now()}
+	log := a.env.Registry.Log(core)
+	txid := log.BeginTx()
+
+	held := a.acquire(core, c, t)
+
+	var undoPersistAt uint64
+	ltx := &lockedTx{b: a.lockBase, core: core, clock: c,
+		dirty: htm.NewLineSet(32), read: htm.NewLineSet(32)}
+	ltx.onWrite = func(la uint64, first bool, _, _ uint64) {
+		if !first {
+			return
+		}
+		// BUG (seeded): reuse the pre-image cached when this core first
+		// logged la instead of re-snapshotting coherent memory. Stale as
+		// soon as any transaction has committed to la since.
+		img, ok := a.prev[core][la]
+		if !ok {
+			img = a.h.LineSnapshot(core, la)
+			a.prev[core][la] = img
+		}
+		rec := &wal.Record{Type: wal.RecUndo, TxID: txid, LineAddr: la, Data: img}
+		if done, err := log.Append(rec, c.Now()); err == nil {
+			a.env.Stats.LogRecords++
+			if done > undoPersistAt {
+				undoPersistAt = done
+			}
+		}
+	}
+
+	_, _, _ = txn.Attempt(t.Body, ltx)
+
+	c.AdvanceTo(undoPersistAt)
+	done := c.Now()
+	for _, la := range ltx.dirty.Keys() {
+		if d := a.h.FlushLine(core, la, c.Now()); d > done {
+			done = d
+		}
+	}
+	c.AdvanceTo(done)
+	if d, err := log.Append(&wal.Record{Type: wal.RecCommit, TxID: txid}, c.Now()); err == nil {
+		c.AdvanceTo(d)
+	}
+	if d, err := log.Append(&wal.Record{Type: wal.RecComplete, TxID: txid}, c.Now()); err == nil {
+		c.AdvanceTo(d)
+	}
+	a.release(core, c, held)
+	log.EndTx(txid)
+
+	a.finish(core, c, &res, ltx.dirty.Len(), ltx.read.Len())
+	return res
+}
+
+// Finish implements txn.Runtime.
+func (a *StaleUndoATOM) Finish(core int, c txn.Clock) {
+	a.env.Stats.Core(core).FinalCycle = c.Now()
+}

@@ -1,0 +1,317 @@
+package crashtest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"dhtm/internal/baselines"
+	"dhtm/internal/txn"
+)
+
+// TestAdversaryConfigValidate covers the adversary knob validation.
+func TestAdversaryConfigValidate(t *testing.T) {
+	for _, ok := range []AdversaryConfig{
+		{}, {Window: 4}, {Window: 16, Mode: "sample", Samples: 32},
+		{Window: 6, Mode: "exhaustive"}, {Window: 2, Mode: "auto"},
+	} {
+		if err := ok.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", ok, err)
+		}
+	}
+	for _, bad := range []AdversaryConfig{
+		{Window: -1}, {Window: 17}, {Mode: "chaos"},
+		{Window: 13, Mode: "exhaustive"}, {Samples: -1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%+v accepted", bad)
+		}
+	}
+	if err := (Selection{Mode: "all", Mask: "0x3"}).Validate(); err == nil {
+		t.Error("mask accepted outside point mode")
+	}
+	if err := (Selection{Mode: "point", Point: 1, Mask: "xyz"}).Validate(); err == nil {
+		t.Error("unparseable mask accepted")
+	}
+	if err := (Selection{Mode: "point", Point: 1, Mask: "0x1f"}).Validate(); err != nil {
+		t.Errorf("valid mask rejected: %v", err)
+	}
+}
+
+// TestWindowZeroReportCompat pins the window-0 report schema to the
+// pre-adversary one: a plain sweep must not grow any adversary-era JSON keys,
+// so stored reports and their digests stay byte-compatible.
+func TestWindowZeroReportCompat(t *testing.T) {
+	rep, err := Explore(context.Background(), Config{
+		Design: "DHTM", Workload: "queue", Cores: 2, TxPerCore: 1, OpsPerTx: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"adversary", "differential", "tasks", "commit_digests"} {
+		if _, ok := m[key]; ok {
+			t.Errorf("window-0 report leaks new key %q", key)
+		}
+	}
+}
+
+// TestReorderedSweepAndMaskReplay runs a small exhaustive window-2 sweep,
+// checks every crash image recovers cleanly, then replays one reordered
+// image through the point+mask repro path and checks it resolves to exactly
+// one task.
+func TestReorderedSweepAndMaskReplay(t *testing.T) {
+	cfg := Config{
+		Design: "DHTM", Workload: "queue", Cores: 2, TxPerCore: 1, OpsPerTx: 4,
+		Adversary: AdversaryConfig{Window: 2, Mode: "exhaustive"},
+	}
+	rep, err := Explore(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("window-2 sweep failed %d images; first: %+v\nrepro: %s", rep.Failed, rep.FirstFailure, rep.Repro)
+	}
+	if rep.Tasks <= rep.Explored {
+		t.Fatalf("window-2 sweep fanned %d points into only %d tasks — the adversary never engaged", rep.Explored, rep.Tasks)
+	}
+
+	// Find a point with a non-empty window and replay one proper-subset mask.
+	c := cfg.withDefaults()
+	runSeed := c.RunSeed()
+	trace, err := c.countPass(runSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := pickPoints(len(trace), c.Points, runSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks, err := c.buildTasks(trace, points, runSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pick *task
+	for i := range tasks {
+		if n := tasks[i].point - int(tasks[i].wStart); n > 0 && tasks[i].mask != 0 && tasks[i].mask != 1<<n-1 {
+			pick = &tasks[i]
+			break
+		}
+	}
+	if pick == nil {
+		t.Fatal("no proper-subset task in the sweep")
+	}
+	replayCfg := cfg
+	replayCfg.Points = Selection{Mode: "point", Point: pick.point, Mask: fmt.Sprintf("%#x", pick.mask)}
+	rrep, err := Explore(context.Background(), replayCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrep.Explored != 1 || rrep.Tasks != 1 || rrep.Failed != 0 {
+		t.Fatalf("mask replay: explored=%d tasks=%d failed=%d, want 1/1/0", rrep.Explored, rrep.Tasks, rrep.Failed)
+	}
+
+	// A mask with bits outside the point's window is rejected up front.
+	replayCfg.Points.Mask = "0xffff"
+	if _, err := Explore(context.Background(), replayCfg); err == nil || !strings.Contains(err.Error(), "outside") {
+		t.Fatalf("oversized mask accepted: %v", err)
+	}
+}
+
+// panicRuntime wraps a real runtime and panics on its nth Run call.
+type panicRuntime struct {
+	txn.Runtime
+	mu    sync.Mutex
+	calls int
+	at    int
+}
+
+func (p *panicRuntime) Run(core int, c txn.Clock, tr *txn.Transaction) txn.ExecResult {
+	p.mu.Lock()
+	p.calls++
+	n := p.calls
+	p.mu.Unlock()
+	if n == p.at {
+		panic("seeded crashtest panic")
+	}
+	return p.Runtime.Run(core, c, tr)
+}
+
+// TestPanicHardening seeds a runtime that panics partway through every
+// crash-point re-run (the counting pass runs the real design, so the event
+// space is healthy) and checks the sweep survives: no process crash, every
+// poisoned point reported as failed with its panic and mask, and a normal
+// exploration still runs cleanly afterwards — the shared snapshot was not
+// corrupted.
+func TestPanicHardening(t *testing.T) {
+	var mu sync.Mutex
+	runs := 0
+	cfg := Config{
+		Design: "ATOM", Workload: "queue", Cores: 2, TxPerCore: 2, OpsPerTx: 4,
+		Adversary: AdversaryConfig{Window: 1, Mode: "exhaustive"},
+		Points:    Selection{Mode: "stride", Samples: 6},
+		Factory: func(env *txn.Env) (txn.Runtime, error) {
+			rt := baselines.NewATOM(env)
+			mu.Lock()
+			runs++
+			first := runs == 1
+			mu.Unlock()
+			if first {
+				return rt, nil // counting pass
+			}
+			return &panicRuntime{Runtime: rt, at: 3}, nil
+		},
+	}
+	rep, err := Explore(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed == 0 {
+		t.Fatal("panicking re-runs reported no failures")
+	}
+	sawMask := false
+	for _, f := range rep.Failures {
+		if !strings.HasPrefix(f.Err, "panic: seeded crashtest panic") {
+			t.Fatalf("point %d failed for the wrong reason: %s", f.Point, f.Err)
+		}
+		if f.Mask != "" {
+			sawMask = true
+		}
+	}
+	if !sawMask {
+		t.Error("no failure carried its adversary mask")
+	}
+	if !strings.Contains(rep.Repro, "-mask") || !strings.Contains(rep.Repro, "-window 1") {
+		t.Errorf("repro command lacks the adversary state: %s", rep.Repro)
+	}
+
+	// The shared post-setup snapshot must be intact: the same configuration
+	// without the poisoned factory explores cleanly.
+	clean := cfg
+	clean.Factory = nil
+	crep, err := Explore(context.Background(), clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crep.Failed != 0 {
+		t.Fatalf("sweep after panics failed %d images: %+v", crep.Failed, crep.FirstFailure)
+	}
+}
+
+// TestDifferentialCatchesStaleUndo is the oracle's teeth test: the
+// StaleUndoATOM fixture reuses stale undo pre-images, which every
+// self-referential oracle accepts — the recovered image is a structurally
+// valid former state (Verify passes) and recovery faithfully applies the
+// poisoned records it was given (the prefix oracle agrees, idempotency
+// holds). The differential oracle's serial re-execution of the committed
+// transactions catches it. Seed 6 deterministically produces the triggering
+// schedule (one core re-logging a line another commit updated in between).
+func TestDifferentialCatchesStaleUndo(t *testing.T) {
+	cfg := Config{
+		Design: "StaleUndoATOM", Workload: "hash", Cores: 4, TxPerCore: 4, OpsPerTx: 8,
+		Seed:         6,
+		Differential: true,
+		Factory: func(env *txn.Env) (txn.Runtime, error) {
+			return baselines.NewStaleUndoATOM(env), nil
+		},
+	}
+	rep, err := Explore(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed == 0 {
+		t.Fatal("differential oracle missed the stale-undo fixture")
+	}
+	for _, f := range rep.Failures {
+		if !strings.HasPrefix(f.Err, "differential oracle:") {
+			t.Fatalf("point %d caught by %q — the fixture is supposed to fool every non-differential oracle", f.Point, f.Err)
+		}
+	}
+	if !strings.Contains(rep.Repro, "-differential") {
+		t.Errorf("repro command misses -differential: %s", rep.Repro)
+	}
+
+	// Without the differential oracle the same broken design sails through:
+	// that blindness is exactly what the oracle exists to fix.
+	blind := cfg
+	blind.Differential = false
+	brep, err := Explore(context.Background(), blind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brep.Failed != 0 {
+		t.Fatalf("non-differential sweep unexpectedly failed %d points: %+v", brep.Failed, brep.FirstFailure)
+	}
+}
+
+// TestCrossCheck covers the report-level differential comparison.
+func TestCrossCheck(t *testing.T) {
+	mk := func(design, digest string) *Report {
+		return &Report{
+			Design: design, Workload: "hash", Cores: 2, TxPerCore: 2, RunSeed: 99,
+			Differential:  true,
+			CommitDigests: map[string]string{"0:1,1:1": digest},
+		}
+	}
+	if err := CrossCheck([]*Report{mk("DHTM", "aa"), mk("ATOM", "aa")}); err != nil {
+		t.Fatalf("agreeing designs flagged: %v", err)
+	}
+	err := CrossCheck([]*Report{mk("DHTM", "aa"), mk("ATOM", "bb")})
+	if err == nil || !strings.Contains(err.Error(), "disagree") {
+		t.Fatalf("disagreeing designs not flagged: %v", err)
+	}
+	// Different run seeds are different experiments, never compared.
+	other := mk("ATOM", "bb")
+	other.RunSeed = 100
+	if err := CrossCheck([]*Report{mk("DHTM", "aa"), other}); err != nil {
+		t.Fatalf("distinct run seeds compared: %v", err)
+	}
+	// Non-differential reports are ignored.
+	plain := mk("ATOM", "bb")
+	plain.Differential = false
+	if err := CrossCheck([]*Report{mk("DHTM", "aa"), plain}); err != nil {
+		t.Fatalf("non-differential report compared: %v", err)
+	}
+}
+
+// TestDifferentialSweepAgrees runs the differential oracle over two real
+// designs on the same (design-independent) seed and checks both sweeps pass
+// and CrossCheck accepts them — recovered heaps agree wherever the designs
+// observed the same committed sequence.
+func TestDifferentialSweepAgrees(t *testing.T) {
+	var reports []*Report
+	for _, d := range []string{"DHTM", "LogTM-ATOM"} {
+		cfg := Config{
+			Design: d, Workload: "hash", Cores: 2, TxPerCore: 2, OpsPerTx: 4,
+			Adversary:    AdversaryConfig{Window: 2, Mode: "exhaustive"},
+			Differential: true,
+		}
+		rep, err := Explore(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Failed != 0 {
+			t.Fatalf("%s: %d failures; first: %+v", d, rep.Failed, rep.FirstFailure)
+		}
+		if len(rep.CommitDigests) == 0 {
+			t.Fatalf("%s: differential sweep recorded no digests", d)
+		}
+		reports = append(reports, rep)
+	}
+	if reports[0].RunSeed != reports[1].RunSeed {
+		t.Fatalf("differential run seeds diverged: %d vs %d", reports[0].RunSeed, reports[1].RunSeed)
+	}
+	if err := CrossCheck(reports); err != nil {
+		t.Fatal(err)
+	}
+}

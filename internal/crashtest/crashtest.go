@@ -33,11 +33,14 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
+	"dhtm/internal/memdev"
 	"dhtm/internal/registry"
 	"dhtm/internal/runner"
+	"dhtm/internal/txn"
 )
 
 // Selection chooses which crash points of the persist-event space to explore.
@@ -54,6 +57,47 @@ type Selection struct {
 	Samples int `json:"samples,omitempty"`
 	// Point is the single crash point explored in point mode.
 	Point int `json:"point,omitempty"`
+	// Mask, in point mode with a reordering window, replays exactly one
+	// adversary mask (hex or decimal, e.g. "0x2a") instead of the adversary's
+	// own enumeration — the repro mode for reordered crash images. Bit i of
+	// the mask retires the i-th in-flight write of the point's window.
+	Mask string `json:"mask,omitempty"`
+}
+
+// AdversaryConfig parameterises the persist-queue reordering adversary. The
+// zero value models a strictly ordered queue: every crash image is an exact
+// prefix of the persist-event sequence, bit-for-bit the pre-adversary
+// behavior.
+type AdversaryConfig struct {
+	// Window is the reordering window W of the modelled persist queue: at a
+	// crash, any subset of the last W non-drain writes may have failed to
+	// retire. 0 disables reordering.
+	Window int `json:"reorder_window,omitempty"`
+	// Mode selects the subset enumeration per crash point: "exhaustive"
+	// (every subset, 2^n per point), "sample" (Samples seed-derived subsets)
+	// or "auto"/"" (exhaustive for windows up to 6, sampled beyond).
+	Mode string `json:"mode,omitempty"`
+	// Samples bounds the subsets per point in sample mode (0 = 16).
+	Samples int `json:"samples,omitempty"`
+}
+
+// Validate rejects adversary configurations the explorer cannot honour.
+func (a AdversaryConfig) Validate() error {
+	if a.Window < 0 || a.Window > memdev.MaxAdversaryWindow {
+		return fmt.Errorf("crashtest: reorder window %d outside [0,%d]", a.Window, memdev.MaxAdversaryWindow)
+	}
+	switch a.Mode {
+	case "", "auto", "exhaustive", "sample":
+	default:
+		return fmt.Errorf("crashtest: unknown adversary mode %q (valid: auto, exhaustive, sample)", a.Mode)
+	}
+	if a.Mode == "exhaustive" && a.Window > 12 {
+		return fmt.Errorf("crashtest: exhaustive enumeration of a %d-write window is intractable (max 12)", a.Window)
+	}
+	if a.Samples < 0 {
+		return fmt.Errorf("crashtest: adversary samples must be >= 0")
+	}
+	return nil
 }
 
 // Config parameterises one exploration.
@@ -80,8 +124,22 @@ type Config struct {
 	// seed-derived prefix of its words reaches memory, modelling a line torn
 	// mid-transfer. Single-word writes are 8-byte atomic and stay untorn.
 	Torn bool `json:"torn"`
+	// Adversary configures persist-queue reordering: with a window > 0 each
+	// crash point fans out into one crash image per adversary mask.
+	Adversary AdversaryConfig `json:"adversary,omitzero"`
+	// Differential enables the cross-design oracle: each recovered image must
+	// match a serial re-execution of the committed transaction sequence, and
+	// the report carries per-commit-sequence heap digests so CrossCheck can
+	// compare designs. The run seed then derives without the design name, so
+	// every design drives the identical transaction stream.
+	Differential bool `json:"differential,omitempty"`
 	// Points selects the crash points to explore.
 	Points Selection `json:"points"`
+	// Factory, when non-nil, builds the runtime instead of the design
+	// registry — the hook test fixtures use to torture deliberately broken
+	// designs that the registry refuses to expose. Design then only labels
+	// the report (and, unless Differential, still salts the run seed).
+	Factory func(*txn.Env) (txn.Runtime, error) `json:"-"`
 	// Parallel is the worker-pool size (<= 0 = GOMAXPROCS).
 	Parallel int `json:"-"`
 	// Progress, when non-nil, is called after each explored point.
@@ -123,7 +181,24 @@ func (s Selection) Validate() error {
 	default:
 		return fmt.Errorf("crashtest: unknown selection mode %q (valid: all, stride, random, point)", s.Mode)
 	}
+	if s.Mask != "" {
+		if s.Mode != "point" {
+			return fmt.Errorf("crashtest: a mask replay requires point mode, not %q", s.Mode)
+		}
+		if _, err := parseMask(s.Mask); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// parseMask parses an adversary mask (hex with 0x prefix, or decimal).
+func parseMask(s string) (uint64, error) {
+	m, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("crashtest: invalid adversary mask %q: %w", s, err)
+	}
+	return m, nil
 }
 
 // withDefaults fills unset fields.
@@ -148,6 +223,14 @@ func (c Config) validate() error {
 	if err := c.Points.Validate(); err != nil {
 		return err
 	}
+	if err := c.Adversary.Validate(); err != nil {
+		return err
+	}
+	if c.Factory != nil {
+		// A fixture bypasses the registry, so supportedness is the caller's
+		// responsibility.
+		return nil
+	}
 	for _, d := range Supported() {
 		if c.Design == d {
 			return nil
@@ -161,9 +244,34 @@ func (c Config) validate() error {
 // replayed standalone under dhtm-sim.
 func (c Config) RunSeed() int64 {
 	c = c.withDefaults()
-	return runner.DeriveSeed(c.Seed, runner.Cell{
+	cell := runner.Cell{
 		Design: c.Design, Workload: c.Workload, Cores: c.Cores, TxPerCore: c.TxPerCore,
-	})
+	}
+	if c.Differential {
+		// The differential oracle compares designs on the same transaction
+		// stream, so the seed must not depend on the design name.
+		cell.Design = ""
+	}
+	return runner.DeriveSeed(c.Seed, cell)
+}
+
+// adversary resolves the configured adversary for this run.
+func (c Config) adversary(runSeed int64) memdev.Adversary {
+	samples := c.Adversary.Samples
+	if samples <= 0 {
+		samples = 16
+	}
+	switch c.Adversary.Mode {
+	case "exhaustive":
+		return memdev.ExhaustiveAdversary{}
+	case "sample":
+		return memdev.SampledAdversary{Seed: uint64(runSeed), Samples: samples}
+	default: // "", "auto"
+		if c.Adversary.Window <= 6 {
+			return memdev.ExhaustiveAdversary{}
+		}
+		return memdev.SampledAdversary{Seed: uint64(runSeed), Samples: samples}
+	}
 }
 
 // PointResult is the outcome of exploring one crash point.
@@ -175,11 +283,21 @@ type PointResult struct {
 	// TornWords is how many words of the in-flight write reached memory
 	// (torn mode only; 0 means the write was lost entirely).
 	TornWords int `json:"torn_words,omitempty"`
+	// Window is the number of in-flight writes at this point (reordering
+	// adversary only) and Mask the hex subset of them that retired — bit i
+	// covers the i-th in-flight write. Both are omitted for strictly ordered
+	// (window-0) crash images.
+	Window int    `json:"window,omitempty"`
+	Mask   string `json:"mask,omitempty"`
 	// Replayed and RolledBack echo the recovery report at this point.
 	Replayed   int `json:"replayed"`
 	RolledBack int `json:"rolled_back"`
 	// Err names the violated oracle; empty when every oracle passed.
 	Err string `json:"error,omitempty"`
+
+	// commitKey and digest feed the report's differential digest table.
+	commitKey string
+	digest    uint64
 }
 
 // Report aggregates one exploration.
@@ -192,11 +310,22 @@ type Report struct {
 	BaseSeed  int64  `json:"base_seed"`
 	RunSeed   int64  `json:"run_seed"`
 	Torn      bool   `json:"torn"`
+	// Adversary echoes the reordering configuration; Differential whether
+	// the cross-design oracle ran. Both are omitted in the default
+	// strictly-ordered, single-design mode, keeping window-0 reports
+	// byte-identical to pre-adversary ones.
+	Adversary    AdversaryConfig `json:"adversary,omitzero"`
+	Differential bool            `json:"differential,omitempty"`
 
 	// TotalPoints is the size of the run's persist-event space; Explored is
-	// how many of those points were crashed and recovered.
+	// how many of those points were crashed and recovered. With a reordering
+	// window each point fans out into one crash image per adversary mask;
+	// Tasks counts those images (omitted at window 0, where it equals
+	// Explored). Failed counts failing images, and the histograms cover the
+	// passing ones, so ReplayHist sums to Tasks - Failed.
 	TotalPoints int `json:"total_points"`
 	Explored    int `json:"explored"`
+	Tasks       int `json:"tasks,omitempty"`
 	Failed      int `json:"failed"`
 
 	// EventsByClass counts the full event space by traffic class.
@@ -209,10 +338,17 @@ type Report struct {
 
 	// Failures lists every failing point in ascending point order;
 	// FirstFailure duplicates the first for quick access and Repro is the
-	// exact command that re-explores it.
+	// exact command that re-explores it (including the adversary window and
+	// mask when reordering was in play).
 	Failures     []PointResult `json:"failures,omitempty"`
 	FirstFailure *PointResult  `json:"first_failure,omitempty"`
 	Repro        string        `json:"repro,omitempty"`
+
+	// CommitDigests, in differential mode, maps each observed committed
+	// transaction sequence (canonical "thread:txid,..." activation order) to
+	// the recovered heap digest all of its crash images produced — the table
+	// CrossCheck compares across designs.
+	CommitDigests map[string]string `json:"commit_digests,omitempty"`
 
 	ElapsedNS int64 `json:"elapsed_ns"`
 }
@@ -239,16 +375,26 @@ func Explore(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	tasks, err := cfg.buildTasks(trace, points, runSeed)
+	if err != nil {
+		return nil, err
+	}
+	var dc *diffCtx
+	if cfg.Differential {
+		if dc, err = cfg.newDiffCtx(runSeed, trace); err != nil {
+			return nil, err
+		}
+	}
 
-	results := make([]PointResult, len(points))
+	results := make([]PointResult, len(tasks))
 	var mu sync.Mutex
 	done := 0
-	runner.ForEach(ctx, len(points), cfg.Parallel, func(i int) {
-		results[i] = cfg.explorePoint(runSeed, trace, points[i])
+	runner.ForEach(ctx, len(tasks), cfg.Parallel, func(i int) {
+		results[i] = cfg.explorePoint(runSeed, trace, tasks[i], dc)
 		if cfg.Progress != nil {
 			mu.Lock()
 			done++
-			cfg.Progress(done, len(points))
+			cfg.Progress(done, len(tasks))
 			mu.Unlock()
 		}
 	})
@@ -260,11 +406,19 @@ func Explore(ctx context.Context, cfg Config) (*Report, error) {
 		Design: cfg.Design, Workload: cfg.Workload, Cores: cfg.Cores,
 		TxPerCore: cfg.TxPerCore, OpsPerTx: cfg.OpsPerTx,
 		BaseSeed: cfg.Seed, RunSeed: runSeed, Torn: cfg.Torn,
+		Adversary:     cfg.Adversary,
+		Differential:  cfg.Differential,
 		TotalPoints:   len(trace),
 		Explored:      len(points),
 		EventsByClass: make(map[string]int),
 		ReplayHist:    make(map[int]int),
 		RollbackHist:  make(map[int]int),
+	}
+	if cfg.Adversary.Window > 0 {
+		rep.Tasks = len(tasks)
+	}
+	if cfg.Differential {
+		rep.CommitDigests = make(map[string]string)
 	}
 	for _, ev := range trace {
 		rep.EventsByClass[ev.class.String()]++
@@ -277,14 +431,60 @@ func Explore(ctx context.Context, cfg Config) (*Report, error) {
 		}
 		rep.ReplayHist[r.Replayed]++
 		rep.RollbackHist[r.RolledBack]++
+		if rep.CommitDigests != nil && r.commitKey != "" {
+			rep.CommitDigests[r.commitKey] = fmt.Sprintf("%016x", r.digest)
+		}
 	}
 	if len(rep.Failures) > 0 {
 		first := rep.Failures[0]
 		rep.FirstFailure = &first
-		rep.Repro = cfg.reproCommand(first.Point)
+		rep.Repro = cfg.reproCommand(first)
 	}
 	rep.ElapsedNS = time.Since(start).Nanoseconds()
 	return rep, nil
+}
+
+// task is one crash image to explore: a crash point plus the adversary's
+// choice of which in-flight writes of its window [wStart, point) retired.
+type task struct {
+	point  int
+	wStart uint64
+	mask   uint64
+}
+
+// buildTasks fans the selected crash points out into crash images. Window
+// starts come from replaying the recorded trace's traffic classes through
+// the persist-queue model; at window 0 every window is empty and each point
+// yields exactly its historical prefix image.
+func (c Config) buildTasks(trace []traceEvent, points []int, runSeed int64) ([]task, error) {
+	wStarts := make([]uint64, len(trace))
+	q := memdev.NewPersistQueue(c.Adversary.Window)
+	for i, ev := range trace {
+		wStarts[i] = q.WindowStart(uint64(i), ev.class)
+		q.Observe(uint64(i), ev.class)
+	}
+	if c.Points.Mask != "" {
+		// Replay mode: the single selected point with exactly this mask.
+		m, err := parseMask(c.Points.Mask)
+		if err != nil {
+			return nil, err
+		}
+		p := points[0]
+		n := p - int(wStarts[p])
+		if n < 64 && m >= 1<<n {
+			return nil, fmt.Errorf("crashtest: mask %s has bits outside the %d-write in-flight window at point %d", c.Points.Mask, n, p)
+		}
+		return []task{{point: p, wStart: wStarts[p], mask: m}}, nil
+	}
+	adv := c.adversary(runSeed)
+	var tasks []task
+	for _, p := range points {
+		n := p - int(wStarts[p])
+		for _, m := range adv.Masks(uint64(p), n) {
+			tasks = append(tasks, task{point: p, wStart: wStarts[p], mask: m})
+		}
+	}
+	return tasks, nil
 }
 
 // Torture is the sweep-test entry point: it explores the configured space and
@@ -303,8 +503,9 @@ func Torture(ctx context.Context, cfg Config) (*Report, error) {
 }
 
 // reproCommand renders the exact dhtm-crashtest invocation that re-explores a
-// single point of this configuration.
-func (c Config) reproCommand(point int) string {
+// single failing crash image of this configuration: the point, and — when the
+// reordering adversary was in play — the window and the exact mask.
+func (c Config) reproCommand(p PointResult) string {
 	cmd := fmt.Sprintf("dhtm-crashtest -design %s -workload %s -cores %d -tx %d",
 		c.Design, c.Workload, c.Cores, c.TxPerCore)
 	if c.OpsPerTx > 0 {
@@ -314,7 +515,19 @@ func (c Config) reproCommand(point int) string {
 	if c.Torn {
 		cmd += " -torn"
 	}
-	return cmd + fmt.Sprintf(" -point %d", point)
+	if c.Differential {
+		cmd += " -differential"
+	}
+	cmd += fmt.Sprintf(" -point %d", p.Point)
+	if c.Adversary.Window > 0 {
+		cmd += fmt.Sprintf(" -window %d", c.Adversary.Window)
+		mask := p.Mask
+		if mask == "" {
+			mask = "0x0"
+		}
+		cmd += " -mask " + mask
+	}
+	return cmd
 }
 
 // pickPoints resolves a Selection against a persist-event space of n points

@@ -97,9 +97,17 @@ func TestExploreSmall(t *testing.T) {
 // configuration.
 func TestReproCommand(t *testing.T) {
 	cfg := Config{Design: "ATOM", Workload: "hash", Cores: 4, TxPerCore: 2, OpsPerTx: 8, Seed: 7, Torn: true}
-	got := cfg.reproCommand(123)
+	got := cfg.reproCommand(PointResult{Point: 123})
 	want := "dhtm-crashtest -design ATOM -workload hash -cores 4 -tx 2 -ops 8 -seed 7 -torn -point 123"
 	if got != want {
 		t.Fatalf("repro command:\ngot  %s\nwant %s", got, want)
+	}
+	cfg.Adversary = AdversaryConfig{Window: 3}
+	cfg.Differential = true
+	got = cfg.reproCommand(PointResult{Point: 123, Window: 2, Mask: "0x2"})
+	want += " -window 3 -mask 0x2"
+	want = strings.Replace(want, " -point", " -differential -point", 1)
+	if got != want {
+		t.Fatalf("adversary repro command:\ngot  %s\nwant %s", got, want)
 	}
 }

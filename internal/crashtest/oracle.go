@@ -27,46 +27,59 @@ type redoEntry struct {
 	rec wal.Record
 }
 
-// expectedImage computes the reference durable image for a crash after the
-// given event prefix, independently of the durable logs the recovery manager
-// reads: it decodes the log-record persist events back into records (the
-// trace never loses records to truncation, torn writes or head-pointer races)
-// and applies the same semantics recovery promises — uncommitted undo-logged
-// transactions are rolled back (newest record first) and the redo records of
-// every transaction whose commit marker persisted inside the prefix are
-// replayed in global persist order, which for any line shared across
-// transactions is exactly sentinel dependency order, because a dependent
-// transaction can only log a line after its dependency's commit persisted.
-func expectedImage(pre *memdev.Store, prefix []traceEvent) (*memdev.Store, error) {
-	txs := make(map[txKey]*txState)
-	var redo []redoEntry
+// traceTxs is the transaction-level decoding of a persist-trace prefix: what
+// recovery could legitimately know about each transaction if power failed
+// right after the prefix, plus the committed sequence in activation order
+// (the serialization order the differential oracle replays).
+type traceTxs struct {
+	txs  map[txKey]*txState
+	redo []redoEntry
+	// commits lists every commit-marker activation in global persist order.
+	// Per thread the txids are ascending — a core's transactions commit in
+	// issue order — which is what lets the differential oracle map the j-th
+	// committed txid of a thread back to the j-th generated transaction.
+	commits []txKey
+}
 
-	// Reassemble the record stream. A record append issues one or (on log
-	// wrap-around) two consecutive record-class events followed by the head
-	// pointer's log-meta persist, and no other events interleave — the
-	// token-holding core writes all of them synchronously — so record-class
-	// events concatenate into a stream of whole records. A decoded record is
-	// only *pending* until that head persist: the recovery manager's scan
-	// covers [tail, head), so a record whose words are durable but whose head
-	// write the crash swallowed was never appended. Trailing pending records
-	// at the end of the prefix are therefore dropped.
+// parseTrace decodes the log-record persist events of a trace prefix back
+// into records (the trace never loses records to truncation, torn writes or
+// head-pointer races) and classifies them per transaction.
+//
+// Reassembly works because a record append issues one or (on log wrap-around)
+// two consecutive record-class events followed by the head pointer's log-meta
+// persist, and no other events interleave — the token-holding core writes all
+// of them synchronously — so record-class events concatenate into a stream of
+// whole records. A decoded record is only *pending* until that head persist:
+// the recovery manager's scan covers [tail, head), so a record whose words
+// are durable but whose head write the crash swallowed was never appended.
+// Trailing pending records at the end of the prefix are therefore dropped.
+//
+// Under the reordering adversary the same parse stays sound for a crash at
+// point k with in-flight window [wStart, k): log-meta persists are drain
+// class, so none sits inside the window — every activation the image can
+// contain happened before wStart, and a window record's activating meta is
+// at or beyond k. Masked-in record words are inert bytes beyond the durable
+// head that neither recovery nor this parse can observe.
+func parseTrace(prefix []traceEvent) (*traceTxs, error) {
+	info := &traceTxs{txs: make(map[txKey]*txState)}
 	var buf []uint64
 	var pending []wal.Record
 	activate := func() {
 		for _, rec := range pending {
 			k := txKey{thread: rec.Thread, txid: rec.TxID}
-			st := txs[k]
+			st := info.txs[k]
 			if st == nil {
 				st = &txState{}
-				txs[k] = st
+				info.txs[k] = st
 			}
 			switch rec.Type {
 			case wal.RecRedo:
-				redo = append(redo, redoEntry{key: k, rec: rec})
+				info.redo = append(info.redo, redoEntry{key: k, rec: rec})
 			case wal.RecUndo:
 				st.undo = append(st.undo, rec)
 			case wal.RecCommit:
 				st.committed = true
+				info.commits = append(info.commits, k)
 			case wal.RecAbort:
 				st.aborted = true
 			}
@@ -94,7 +107,20 @@ func expectedImage(pre *memdev.Store, prefix []traceEvent) (*memdev.Store, error
 			activate()
 		}
 	}
+	return info, nil
+}
 
+// expectedImage computes the reference durable image for a crash whose
+// masked pre-recovery image is pre, independently of the durable logs the
+// recovery manager reads: it applies the same semantics recovery promises to
+// the parsed trace — uncommitted undo-logged transactions are rolled back
+// (newest record first) and the redo records of every transaction whose
+// commit marker persisted inside the prefix are replayed in global persist
+// order, which for any line shared across transactions is exactly sentinel
+// dependency order, because a dependent transaction can only log a line
+// after its dependency's commit persisted.
+func expectedImage(pre *memdev.Store, info *traceTxs) *memdev.Store {
+	txs, redo := info.txs, info.redo
 	exp := pre.Clone()
 
 	// Roll back uncommitted, unaborted undo-logged transactions, newest
@@ -130,7 +156,7 @@ func expectedImage(pre *memdev.Store, prefix []traceEvent) (*memdev.Store, error
 			applyRec(exp, e.rec)
 		}
 	}
-	return exp, nil
+	return exp
 }
 
 // applyRec writes a record's payload in place: line-granular records carry a

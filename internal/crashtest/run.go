@@ -2,6 +2,7 @@ package crashtest
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"dhtm/internal/config"
 	"dhtm/internal/memdev"
@@ -34,41 +35,41 @@ func (r *recorder) PersistWrite(_ uint64, ev memdev.PersistEvent) {
 	})
 }
 
-// injector crashes a re-run at one crash point: when durable write target is
-// about to apply it clones the store — writes 0..target-1 are in the clone,
-// write target and everything later are not, and all volatile state is absent
-// by construction — then optionally applies a torn prefix of the in-flight
-// write to the clone. Earlier events are cross-checked against the counting
-// pass's trace, so any determinism violation surfaces instead of silently
-// exploring the wrong point.
+// injector crashes a re-run at one crash point: when the first durable write
+// that may still be in flight at the crash (start, the persist-queue window's
+// lower bound; start == target when the queue is strictly ordered) is about
+// to apply, it clones the store — writes 0..start-1 are in the clone, every
+// later write is not, and all volatile state is absent by construction. The
+// driver then builds the crash image by applying the adversary's mask of
+// window writes (and the torn prefix of write target) from the recorded
+// trace, whose payloads are cross-checked here against the live run up to
+// and including target, so any determinism violation surfaces instead of
+// silently exploring the wrong image.
 type injector struct {
-	trace     []traceEvent
-	target    uint64
-	tornWords int
-	store     *memdev.Store
+	trace  []traceEvent
+	start  uint64 // first write that may be in flight at the crash
+	target uint64 // the crash point itself
+	store  *memdev.Store
 
 	snapshot *memdev.Store
+	reached  bool
 	mismatch error
 }
 
 // PersistWrite implements memdev.PersistObserver.
 func (in *injector) PersistWrite(seq uint64, ev memdev.PersistEvent) {
-	if seq < in.target {
-		if in.mismatch == nil {
-			te := in.trace[seq]
-			if te.class != ev.Class || te.addr != ev.Addr || !wordsEqual(te.words, ev.Data) {
-				in.mismatch = fmt.Errorf("event %d diverged from the counting pass: got %s@%#x/%dw, recorded %s@%#x/%dw",
-					seq, ev.Class, ev.Addr, len(ev.Data), te.class, te.addr, len(te.words))
-			}
+	if seq <= in.target && in.mismatch == nil {
+		te := in.trace[seq]
+		if te.class != ev.Class || te.addr != ev.Addr || !wordsEqual(te.words, ev.Data) {
+			in.mismatch = fmt.Errorf("event %d diverged from the counting pass: got %s@%#x/%dw, recorded %s@%#x/%dw",
+				seq, ev.Class, ev.Addr, len(ev.Data), te.class, te.addr, len(te.words))
 		}
-		return
 	}
-	if seq > in.target || in.snapshot != nil {
-		return
+	if seq == in.start && in.snapshot == nil {
+		in.snapshot = in.store.Clone()
 	}
-	in.snapshot = in.store.Clone()
-	for i := 0; i < in.tornWords && i < len(ev.Data); i++ {
-		in.snapshot.WriteWord(ev.Addr+uint64(i*8), ev.Data[i])
+	if seq == in.target {
+		in.reached = true
 	}
 }
 
@@ -87,10 +88,11 @@ func wordsEqual(a, b []uint64) bool {
 	return true
 }
 
-// done reports whether the crash point has been captured; the driver stops
-// issuing new transactions once it has (the snapshot is immutable from then
-// on, so the remaining work cannot change the outcome).
-func (in *injector) done() bool { return in.snapshot != nil }
+// done reports whether the crash point has been reached; the driver stops
+// issuing new transactions once it has (the snapshot and the trace segment
+// the crash image is built from are fixed from then on, so the remaining
+// work cannot change the outcome).
+func (in *injector) done() bool { return in.reached }
 
 // runOnce builds one fully isolated simulated machine and drives TxPerCore
 // transactions per core through workloads.RunPrepared — the same drive loop
@@ -113,7 +115,12 @@ func (c Config) runOnce(seed int64, arm func(*txn.Env) (memdev.PersistObserver, 
 	if err != nil {
 		return nil, nil, err
 	}
-	rt, err := registry.NewRuntime(env, c.Design)
+	var rt txn.Runtime
+	if c.Factory != nil {
+		rt, err = c.Factory(env)
+	} else {
+		rt, err = registry.NewRuntime(env, c.Design)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
@@ -155,15 +162,35 @@ func (c Config) countPass(seed int64) ([]traceEvent, error) {
 	return rec.events, nil
 }
 
-// explorePoint re-runs the workload, crashes it at point k and judges the
-// recovered image against the three oracles.
-func (c Config) explorePoint(seed int64, trace []traceEvent, k int) PointResult {
-	res := PointResult{Point: k, Class: trace[k].class.String()}
+// explorePoint re-runs the workload, crashes it at the task's point, builds
+// the crash image the task's adversary mask describes and judges the
+// recovered image against the oracles. A panic anywhere in the re-run,
+// recovery or an oracle (e.g. recovery walking a log the adversary corrupted)
+// is recovered and reported as the point's failure: one pathological crash
+// image must not kill the sweep, and the re-run's store is a private clone so
+// nothing leaks into the shared snapshot.
+func (c Config) explorePoint(seed int64, trace []traceEvent, tk task, dc *diffCtx) (res PointResult) {
+	k := tk.point
+	res = PointResult{Point: k, Class: trace[k].class.String()}
+	n := k - int(tk.wStart)
+	if n > 0 {
+		res.Window = n
+		res.Mask = fmt.Sprintf("%#x", tk.mask)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			stack := debug.Stack()
+			if len(stack) > 4096 {
+				stack = stack[:4096]
+			}
+			res.Err = fmt.Sprintf("panic: %v\n%s", r, stack)
+		}
+	}()
 	if c.Torn && len(trace[k].words) >= 2 {
 		// A deterministic, seed-derived proper prefix of the in-flight words.
 		res.TornWords = 1 + int(runner.Mix64(uint64(seed)^uint64(k))%uint64(len(trace[k].words)-1))
 	}
-	inj := &injector{trace: trace, target: uint64(k), tornWords: res.TornWords}
+	inj := &injector{trace: trace, start: tk.wStart, target: uint64(k)}
 	env, w, err := c.runOnce(seed, func(env *txn.Env) (memdev.PersistObserver, func() bool) {
 		inj.store = env.Store()
 		return inj, inj.done
@@ -177,12 +204,26 @@ func (c Config) explorePoint(seed int64, trace []traceEvent, k int) PointResult 
 		res.Err = "determinism: " + inj.mismatch.Error()
 		return res
 	}
-	if inj.snapshot == nil {
+	if !inj.reached {
 		res.Err = fmt.Sprintf("crash point %d was never reached (re-run produced fewer events)", k)
 		return res
 	}
 
+	// Build the crash image: the clone holds writes [0, wStart); the mask
+	// retires its subset of the in-flight window [wStart, k) — in issue
+	// order, since the queue keeps same-address writes coherent — and the
+	// interrupted write k itself contributes at most a torn prefix. Payloads
+	// come from the cross-checked trace, identical to the live run's.
 	pre := inj.snapshot
+	for i := 0; i < n; i++ {
+		if tk.mask>>uint(i)&1 == 1 {
+			applyEvent(pre, trace[int(tk.wStart)+i])
+		}
+	}
+	for i := 0; i < res.TornWords && i < len(trace[k].words); i++ {
+		pre.WriteWord(trace[k].addr+uint64(i*8), trace[k].words[i])
+	}
+
 	img := pre.Clone()
 	report, err := recovery.Recover(img)
 	if err != nil {
@@ -199,12 +240,15 @@ func (c Config) explorePoint(seed int64, trace []traceEvent, k int) PointResult 
 	}
 
 	// Oracle 2: prefix consistency against the trace-derived reference image.
-	want, err := expectedImage(pre, trace[:k])
+	// The reference is mask-independent — log-meta persists drain the queue,
+	// so no window write can change which records recovery sees activated —
+	// but the pre-image it corrects is the masked one.
+	info, err := parseTrace(trace[:k])
 	if err != nil {
 		res.Err = "reference image: " + err.Error()
 		return res
 	}
-	if diff := diffHeap(img, want); diff != "" {
+	if diff := diffHeap(img, expectedImage(pre, info)); diff != "" {
 		res.Err = "prefix oracle: " + diff
 		return res
 	}
@@ -225,5 +269,29 @@ func (c Config) explorePoint(seed int64, trace []traceEvent, k int) PointResult 
 		res.Err = "idempotency oracle: second recovery changed the image"
 		return res
 	}
+
+	// Oracle 4 (differential mode): the recovered image must match a serial
+	// re-execution of exactly the committed transaction sequence, on a store
+	// that never saw this design's machinery — the cross-design ground truth.
+	if dc != nil {
+		replay, err := dc.replay(info.commits)
+		if err != nil {
+			res.Err = "differential oracle: " + err.Error()
+			return res
+		}
+		if diff := diffHeap(img, replay); diff != "" {
+			res.Err = "differential oracle: recovered image diverges from serial re-execution of the committed sequence: " + diff
+			return res
+		}
+		res.commitKey = commitKey(info.commits)
+		res.digest = heapDigest(img)
+	}
 	return res
+}
+
+// applyEvent retires one recorded durable write into a crash image.
+func applyEvent(st *memdev.Store, ev traceEvent) {
+	for i, w := range ev.words {
+		st.WriteWord(ev.addr+uint64(i*8), w)
+	}
 }

@@ -1,0 +1,144 @@
+package memdev
+
+import (
+	"reflect"
+	"testing"
+)
+
+// windowsOf runs a class sequence through a PersistQueue and returns each
+// event's in-flight window start.
+func windowsOf(classes []TrafficClass, window int) []uint64 {
+	q := NewPersistQueue(window)
+	out := make([]uint64, len(classes))
+	for i, cl := range classes {
+		out[i] = q.WindowStart(uint64(i), cl)
+		q.Observe(uint64(i), cl)
+	}
+	return out
+}
+
+func TestPersistQueueZeroWindowIsPrefix(t *testing.T) {
+	classes := []TrafficClass{
+		TrafficData, TrafficLogUndo, TrafficLogMeta, TrafficData,
+		TrafficData, TrafficLogCommit, TrafficData, TrafficLogComplete,
+	}
+	for i, start := range windowsOf(classes, 0) {
+		if start != uint64(i) {
+			t.Fatalf("window 0: event %d has window start %d, want %d (exact prefix)", i, start, i)
+		}
+	}
+}
+
+func TestPersistQueueWindowsRespectDrains(t *testing.T) {
+	classes := []TrafficClass{
+		TrafficData,        // 0: window []
+		TrafficData,        // 1: window [0]
+		TrafficData,        // 2: window [0,1] (W=2)
+		TrafficData,        // 3: window [1,2]
+		TrafficLogCommit,   // 4: drain -> window []
+		TrafficData,        // 5: window [] (barrier at 5)
+		TrafficData,        // 6: window [5]
+		TrafficLogUndo,     // 7: window [5,6]
+		TrafficLogMeta,     // 8: drain -> window []
+		TrafficData,        // 9: window []
+		TrafficLogOverflow, // 10: window [9]
+	}
+	want := []uint64{0, 0, 0, 1, 4, 5, 5, 5, 8, 9, 9}
+	got := windowsOf(classes, 2)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("window starts = %v, want %v", got, want)
+	}
+	// Invariant: a window never contains a drain-class event.
+	for i, start := range got {
+		for j := start; j < uint64(i); j++ {
+			if classes[j].Drains() {
+				t.Fatalf("event %d's window [%d,%d) contains drain-class event %d (%s)",
+					i, start, i, j, classes[j])
+			}
+		}
+	}
+}
+
+func TestPersistQueueWindowCap(t *testing.T) {
+	classes := make([]TrafficClass, 40)
+	for i := range classes {
+		classes[i] = TrafficData
+	}
+	for i, start := range windowsOf(classes, 5) {
+		wantStart := 0
+		if i > 5 {
+			wantStart = i - 5
+		}
+		if start != uint64(wantStart) {
+			t.Fatalf("event %d: window start %d, want %d", i, start, wantStart)
+		}
+	}
+}
+
+func TestDrainClasses(t *testing.T) {
+	drains := map[TrafficClass]bool{
+		TrafficLogCommit: true, TrafficLogComplete: true, TrafficLogAbort: true,
+		TrafficLogSentinel: true, TrafficLogMeta: true,
+	}
+	all := []TrafficClass{
+		TrafficData, TrafficLog, TrafficLogRedo, TrafficLogUndo,
+		TrafficLogCommit, TrafficLogComplete, TrafficLogAbort,
+		TrafficLogSentinel, TrafficLogOverflow, TrafficLogMeta,
+	}
+	for _, c := range all {
+		if c.Drains() != drains[c] {
+			t.Fatalf("%s.Drains() = %v, want %v", c, c.Drains(), drains[c])
+		}
+	}
+}
+
+func TestExhaustiveAdversaryEnumeratesAllSubsets(t *testing.T) {
+	for n := 0; n <= 6; n++ {
+		masks := ExhaustiveAdversary{}.Masks(7, n)
+		if len(masks) != 1<<n {
+			t.Fatalf("n=%d: %d masks, want %d", n, len(masks), 1<<n)
+		}
+		for i, m := range masks {
+			if m != uint64(i) {
+				t.Fatalf("n=%d: mask[%d] = %d, want %d", n, i, m, i)
+			}
+		}
+	}
+}
+
+func TestSampledAdversaryDeterministicAndBounded(t *testing.T) {
+	a := SampledAdversary{Seed: 0xfeed, Samples: 8}
+	m1 := a.Masks(42, 12)
+	m2 := a.Masks(42, 12)
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatalf("sampled masks not deterministic: %v vs %v", m1, m2)
+	}
+	if len(m1) != 8 {
+		t.Fatalf("got %d masks, want 8", len(m1))
+	}
+	if m1[0] != 1<<12-1 || m1[1] != 0 {
+		t.Fatalf("first two masks must be full and empty subsets, got %#x %#x", m1[0], m1[1])
+	}
+	seen := map[uint64]bool{}
+	for _, m := range m1 {
+		if m >= 1<<12 {
+			t.Fatalf("mask %#x outside the %d-bit window", m, 12)
+		}
+		if seen[m] {
+			t.Fatalf("duplicate mask %#x", m)
+		}
+		seen[m] = true
+	}
+	// Different points and seeds draw different streams.
+	if reflect.DeepEqual(m1, a.Masks(43, 12)) {
+		t.Fatal("distinct points drew identical mask samples")
+	}
+	if reflect.DeepEqual(m1, SampledAdversary{Seed: 0xbeef, Samples: 8}.Masks(42, 12)) {
+		t.Fatal("distinct seeds drew identical mask samples")
+	}
+	// A budget that covers the space degenerates to exhaustive enumeration.
+	small := SampledAdversary{Seed: 1, Samples: 64}.Masks(9, 3)
+	if !reflect.DeepEqual(small, ExhaustiveAdversary{}.Masks(9, 3)) {
+		t.Fatalf("small window should enumerate exhaustively, got %v", small)
+	}
+}

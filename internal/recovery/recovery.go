@@ -4,6 +4,13 @@
 // committed but had not completed their in-place write-backs (ordering
 // dependent transactions by their sentinel records), rolls back undo-logged
 // transactions that never committed, and leaves everything else untouched.
+//
+// Recovery sees whatever subset of in-flight persists actually reached the
+// memory image before the crash. The persistency model that bounds that
+// subset — which writes may still be in flight, which classes drain the
+// queue — is documented on memdev.PersistQueue, and internal/crashtest
+// exercises recovery against every crash image the model admits (including
+// reordered ones, via the subset adversary).
 package recovery
 
 import (

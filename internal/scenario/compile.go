@@ -99,6 +99,12 @@ func (d *Document) compileExperiment(c *Compiled) error {
 		return d.reject("axes.bandwidth_scale")
 	case len(d.Axes.ConflictPolicy) > 0:
 		return d.reject("axes.conflict_policy")
+	case len(d.Axes.ReorderWindow) > 0:
+		return d.reject("axes.reorder_window")
+	case d.MaskMode != "" || d.MaskSamples != 0:
+		return d.reject("mask_mode")
+	case d.Differential:
+		return d.reject("differential")
 	}
 	if err := d.Axes.validatePositive(); err != nil {
 		return err
@@ -148,6 +154,12 @@ func (d *Document) compileSweep(c *Compiled) error {
 		return d.reject("torn")
 	case d.Points != nil:
 		return d.reject("points")
+	case len(d.Axes.ReorderWindow) > 0:
+		return d.reject("axes.reorder_window")
+	case d.MaskMode != "" || d.MaskSamples != 0:
+		return d.reject("mask_mode")
+	case d.Differential:
+		return d.reject("differential")
 	}
 	designs, err := d.designSet()
 	if err != nil {
@@ -222,7 +234,7 @@ func (d *Document) compileSweep(c *Compiled) error {
 }
 
 // compileCrashtest expands one exploration per (design, workload, cores,
-// tx, ops, seed) grid point.
+// tx, ops, seed, reorder_window) grid point.
 func (d *Document) compileCrashtest(c *Compiled) error {
 	switch {
 	case len(d.Experiments) > 0:
@@ -260,21 +272,40 @@ func (d *Document) compileCrashtest(c *Compiled) error {
 	if err := points.Validate(); err != nil {
 		return fmt.Errorf("scenario: %w", err)
 	}
+	// The reorder_window axis is the one axis where 0 is meaningful (the
+	// strictly-ordered baseline), so it validates here instead of through
+	// validatePositive. Mode and budget apply to every window point alike.
+	for _, w := range d.Axes.ReorderWindow {
+		if err := (crashtest.AdversaryConfig{Window: w, Mode: d.MaskMode, Samples: d.MaskSamples}).Validate(); err != nil {
+			return fmt.Errorf("scenario: axis \"reorder_window\": %w", err)
+		}
+	}
+	if len(d.Axes.ReorderWindow) == 0 {
+		if err := (crashtest.AdversaryConfig{Mode: d.MaskMode, Samples: d.MaskSamples}).Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
 	for _, design := range designs {
 		for _, wl := range wls {
 			for _, cores := range orDefault(d.Axes.Cores) {
 				for _, tx := range orDefault(d.Axes.TxPerCore) {
 					for _, ops := range orDefault(d.Axes.OpsPerTx) {
 						for _, seed := range orDefault(d.Axes.Seed) {
-							base := seed
-							if base == 0 {
-								base = d.Seed
+							for _, window := range orDefault(d.Axes.ReorderWindow) {
+								base := seed
+								if base == 0 {
+									base = d.Seed
+								}
+								c.Crashtests = append(c.Crashtests, crashtest.Config{
+									Design: design, Workload: wl,
+									Cores: cores, TxPerCore: tx, OpsPerTx: ops,
+									Seed: base, Torn: d.Torn, Points: points,
+									Adversary: crashtest.AdversaryConfig{
+										Window: window, Mode: d.MaskMode, Samples: d.MaskSamples,
+									},
+									Differential: d.Differential,
+								})
 							}
-							c.Crashtests = append(c.Crashtests, crashtest.Config{
-								Design: design, Workload: wl,
-								Cores: cores, TxPerCore: tx, OpsPerTx: ops,
-								Seed: base, Torn: d.Torn, Points: points,
-							})
 						}
 					}
 				}

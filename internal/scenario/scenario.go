@@ -70,6 +70,10 @@ type Axes struct {
 	// ConflictPolicy sweeps the conflict-resolution policy
 	// ("first-writer-wins" or "requester-wins", the ablation axis).
 	ConflictPolicy []string `json:"conflict_policy,omitempty"`
+	// ReorderWindow sweeps the persist-queue reordering window of the crash
+	// adversary (crashtest mode only). 0 is a legal value: it is the
+	// strictly-ordered baseline point of a robustness sweep.
+	ReorderWindow []int `json:"reorder_window,omitempty"`
 }
 
 // Document is one declarative campaign. The zero value is not runnable;
@@ -107,6 +111,16 @@ type Document struct {
 	// Torn and Points configure crashtest mode (crashtest.Config).
 	Torn   bool                 `json:"torn,omitempty"`
 	Points *crashtest.Selection `json:"points,omitempty"`
+	// MaskMode and MaskSamples configure the reordering adversary's subset
+	// enumeration (crashtest mode with a reorder_window axis): "auto"/"",
+	// "exhaustive" or "sample", and the per-point sample budget.
+	MaskMode    string `json:"mask_mode,omitempty"`
+	MaskSamples int    `json:"mask_samples,omitempty"`
+	// Differential enables the cross-design differential oracle (crashtest
+	// mode): every recovered image must match a serial re-execution of its
+	// committed transactions, run seeds derive design-independently, and the
+	// runner cross-checks recovered-heap digests across the design set.
+	Differential bool `json:"differential,omitempty"`
 
 	// Seed is the base seed that derived cell and run seeds mix from
 	// (0 = the runner default, 42).

@@ -38,11 +38,15 @@ func goldenDocument() Document {
 			LogBufferEntries: []int{16, 64},
 			BandwidthScale:   []float64{1, 2},
 			ConflictPolicy:   []string{"requester-wins"},
+			ReorderWindow:    []int{0, 3},
 		},
-		Torn:   true,
-		Points: &crashtest.Selection{Mode: "stride", Samples: 64},
-		Seed:   42,
-		Store:  "results",
+		Torn:         true,
+		Points:       &crashtest.Selection{Mode: "stride", Samples: 64, Mask: "0x5"},
+		MaskMode:     "sample",
+		MaskSamples:  32,
+		Differential: true,
+		Seed:         42,
+		Store:        "results",
 	}
 }
 
@@ -156,6 +160,15 @@ func TestCompileRejections(t *testing.T) {
 		{"negative cores in experiment", `{"format_version":1,"mode":"experiment","axes":{"cores":[-4]}}`, "must be positive"},
 		{"logbuf axis in crashtest", `{"format_version":1,"mode":"crashtest","designs":["DHTM"],"workloads":["hash"],"axes":{"log_buffer_entries":[16]}}`, `"axes.log_buffer_entries" is not valid`},
 		{"experiments in sweep", `{"format_version":1,"mode":"sweep","experiments":["table4"],"designs":["DHTM"],"workloads":["hash"]}`, `"experiments" is not valid in mode "sweep"`},
+		{"reorder window in sweep", `{"format_version":1,"mode":"sweep","designs":["DHTM"],"workloads":["hash"],"axes":{"reorder_window":[2]}}`, `"axes.reorder_window" is not valid in mode "sweep"`},
+		{"reorder window in experiment", `{"format_version":1,"mode":"experiment","axes":{"reorder_window":[2]}}`, `"axes.reorder_window" is not valid`},
+		{"mask mode in sweep", `{"format_version":1,"mode":"sweep","designs":["DHTM"],"workloads":["hash"],"mask_mode":"sample"}`, `"mask_mode" is not valid in mode "sweep"`},
+		{"mask samples in experiment", `{"format_version":1,"mode":"experiment","mask_samples":16}`, `"mask_mode" is not valid`},
+		{"differential in sweep", `{"format_version":1,"mode":"sweep","designs":["DHTM"],"workloads":["hash"],"differential":true}`, `"differential" is not valid in mode "sweep"`},
+		{"negative reorder window", `{"format_version":1,"mode":"crashtest","designs":["DHTM"],"workloads":["hash"],"axes":{"reorder_window":[-1]}}`, "reorder_window"},
+		{"oversized reorder window", `{"format_version":1,"mode":"crashtest","designs":["DHTM"],"workloads":["hash"],"axes":{"reorder_window":[17]}}`, "reorder_window"},
+		{"bad mask mode", `{"format_version":1,"mode":"crashtest","designs":["DHTM"],"workloads":["hash"],"mask_mode":"chaos"}`, "adversary mode"},
+		{"exhaustive window too wide", `{"format_version":1,"mode":"crashtest","designs":["DHTM"],"workloads":["hash"],"mask_mode":"exhaustive","axes":{"reorder_window":[13]}}`, "exhaustive"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -321,6 +334,42 @@ func TestCompileCrashtest(t *testing.T) {
 		}
 		if cfg.Points.Mode != "stride" || cfg.Points.Samples != 64 {
 			t.Errorf("config did not inherit the point selection: %+v", cfg)
+		}
+		if cfg.Adversary.Window != 0 || cfg.Differential {
+			t.Errorf("adversary knobs leaked into a plain document: %+v", cfg)
+		}
+	}
+
+	// The reorder_window axis fans each grid point out per window value —
+	// including the legal 0 baseline — and carries the adversary knobs and
+	// the differential switch onto every config.
+	adv, err := Parse([]byte(`{
+		"format_version": 1,
+		"mode": "crashtest",
+		"designs": ["DHTM"],
+		"workloads": ["hash"],
+		"mask_mode": "sample",
+		"mask_samples": 8,
+		"differential": true,
+		"axes": {"reorder_window": [0, 2, 4]}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := adv.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ca.Crashtests) != 3 {
+		t.Fatalf("crashtests = %d, want 3 (one per window)", len(ca.Crashtests))
+	}
+	for i, want := range []int{0, 2, 4} {
+		cfg := ca.Crashtests[i]
+		if cfg.Adversary.Window != want || cfg.Adversary.Mode != "sample" || cfg.Adversary.Samples != 8 {
+			t.Errorf("config %d adversary = %+v, want window %d mode sample samples 8", i, cfg.Adversary, want)
+		}
+		if !cfg.Differential {
+			t.Errorf("config %d lost the differential switch", i)
 		}
 	}
 }

@@ -132,6 +132,9 @@ func (s *JobSpec) validate() error {
 			if err := cfg.Points.Validate(); err != nil {
 				return err
 			}
+			if err := cfg.Adversary.Validate(); err != nil {
+				return err
+			}
 		}
 	default:
 		return fmt.Errorf("unknown job kind %q (valid: %s, %s, %s)", s.Kind, KindExperiment, KindSweep, KindCrashtest)

@@ -437,6 +437,15 @@ func (s *Server) runCrashtest(job *Job) error {
 				name, rep.Failed, rep.Explored, rep.Repro))
 		}
 	}
+	// The fleet-level half of the differential oracle: every design in the
+	// grid that explored the same committed sequences must have recovered
+	// the same heap.
+	job.mu.Lock()
+	reports := append([]*crashtest.Report(nil), job.crashtests...)
+	job.mu.Unlock()
+	if err := crashtest.CrossCheck(reports); err != nil {
+		failures = append(failures, err.Error())
+	}
 	if len(failures) > 0 {
 		return fmt.Errorf("%s", strings.Join(failures, "; "))
 	}

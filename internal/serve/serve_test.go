@@ -402,6 +402,43 @@ func TestCrashtestGridJob(t *testing.T) {
 	}
 }
 
+// TestCrashtestDifferentialJob runs a reordering-adversary grid with the
+// differential oracle over two designs and checks the job passes the
+// fleet-level cross-check (recovered heaps agree across designs).
+func TestCrashtestDifferentialJob(t *testing.T) {
+	_, ts := newTestServer(t, t.TempDir(), 1)
+	adv := crashtest.AdversaryConfig{Window: 1, Mode: "exhaustive"}
+	sel := crashtest.Selection{Mode: "stride", Samples: 4}
+	st := submit(t, ts, JobSpec{
+		Kind: KindCrashtest,
+		Crashtests: []crashtest.Config{
+			{Design: "DHTM", Workload: "queue", Cores: 2, TxPerCore: 1, OpsPerTx: 4,
+				Adversary: adv, Differential: true, Points: sel},
+			{Design: "LogTM-ATOM", Workload: "queue", Cores: 2, TxPerCore: 1, OpsPerTx: 4,
+				Adversary: adv, Differential: true, Points: sel},
+		},
+	})
+	final := await(t, ts, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("differential grid finished %s (%s)", final.State, final.Error)
+	}
+	if len(final.Crashtests) != 2 {
+		t.Fatalf("crashtest reports = %d, want 2", len(final.Crashtests))
+	}
+	for _, rep := range final.Crashtests {
+		if !rep.Differential || rep.Failed != 0 {
+			t.Fatalf("%s/%s differential=%v failed=%d", rep.Design, rep.Workload, rep.Differential, rep.Failed)
+		}
+		if len(rep.CommitDigests) == 0 {
+			t.Fatalf("%s/%s recorded no commit digests", rep.Design, rep.Workload)
+		}
+	}
+	if final.Crashtests[0].RunSeed != final.Crashtests[1].RunSeed {
+		t.Fatalf("differential run seeds diverged: %d vs %d",
+			final.Crashtests[0].RunSeed, final.Crashtests[1].RunSeed)
+	}
+}
+
 // TestSubmitValidation checks malformed specs die at the door with 400s
 // that name the valid values.
 func TestSubmitValidation(t *testing.T) {
@@ -420,6 +457,9 @@ func TestSubmitValidation(t *testing.T) {
 		{"unsupported crashtest design", `{"kind":"crashtest","crashtest":{"design":"NP","workload":"hash"}}`, "not supported"},
 		{"bad crashtest point selection", `{"kind":"crashtest","crashtest":{"design":"DHTM","workload":"hash","points":{"mode":"bogus"}}}`, "unknown selection mode"},
 		{"both crashtest fields", `{"kind":"crashtest","crashtest":{"design":"DHTM","workload":"hash"},"crashtests":[{"design":"DHTM","workload":"hash"}]}`, "not both"},
+		{"oversized reorder window", `{"kind":"crashtest","crashtest":{"design":"DHTM","workload":"hash","adversary":{"reorder_window":17}}}`, "reorder window"},
+		{"bad adversary mode", `{"kind":"crashtest","crashtest":{"design":"DHTM","workload":"hash","adversary":{"reorder_window":2,"mode":"chaos"}}}`, "adversary mode"},
+		{"bad replay mask", `{"kind":"crashtest","crashtest":{"design":"DHTM","workload":"hash","points":{"mode":"point","point":3,"mask":"xyz"}}}`, "mask"},
 		{"unknown field", `{"kind":"sweep","plam":{}}`, "unknown field"},
 	}
 	for _, tc := range cases {

@@ -83,6 +83,45 @@ func TestTortureTorn(t *testing.T) {
 	}
 }
 
+// TestTortureReordered is the relaxed-persistency sweep: the persist-queue
+// adversary fans each crash point of DHTM and LogTM-ATOM (one redo design,
+// one undo design) out into every subset of a 2-write reordering window, and
+// every resulting crash image must still satisfy all oracles — including the
+// differential one, which re-executes the committed transactions serially and
+// demands the recovered heap match. In -short mode a strided sample of points
+// stands in for the full space; the subset fan-out per point stays exhaustive.
+func TestTortureReordered(t *testing.T) {
+	sel := crashtest.Selection{Mode: "all"}
+	if testing.Short() {
+		sel = crashtest.Selection{Mode: "stride", Samples: 48}
+	}
+	for _, design := range []string{"DHTM", "LogTM-ATOM"} {
+		for _, workload := range []string{"hash", "queue"} {
+			design, workload := design, workload
+			t.Run(design+"/"+workload, func(t *testing.T) {
+				t.Parallel()
+				rep, err := crashtest.Torture(context.Background(), crashtest.Config{
+					Design: design, Workload: workload,
+					Cores: 2, TxPerCore: 2, OpsPerTx: 4,
+					Adversary:    crashtest.AdversaryConfig{Window: 2, Mode: "exhaustive"},
+					Differential: true,
+					Points:       sel,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Tasks <= rep.Explored {
+					t.Errorf("adversary never engaged: %d points expanded to %d crash images",
+						rep.Explored, rep.Tasks)
+				}
+				if len(rep.CommitDigests) == 0 {
+					t.Error("differential sweep recorded no commit digests")
+				}
+			})
+		}
+	}
+}
+
 // TestTortureReproducesPoint checks the repro contract behind the reported
 // commands: exploring one point twice — as dhtm-crashtest -point does — must
 // yield identical results, including the recovery report counts and the torn
