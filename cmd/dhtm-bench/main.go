@@ -18,6 +18,7 @@
 //	dhtm-bench -list           # list experiments
 //	dhtm-bench -store results/ # persist cell results; warm re-runs simulate nothing
 //	dhtm-bench -cpuprofile cpu.out -memprofile mem.out   # profile the run
+//	dhtm-bench -metrics run.prom   # dump the metrics registry (Prometheus text) at exit
 //	dhtm-bench -scenario examples/scenarios/table4-quick.json
 //
 // A failing experiment no longer aborts the run: every selected experiment
@@ -45,6 +46,7 @@ import (
 	"time"
 
 	"dhtm/internal/harness"
+	"dhtm/internal/obs"
 	"dhtm/internal/resultstore"
 	"dhtm/internal/runner"
 	"dhtm/internal/scenario"
@@ -71,15 +73,36 @@ type document struct {
 	Snapshots   *snapshot.Metrics    `json:"snapshots,omitempty"`
 }
 
-// snapshotSummary reports the setup-snapshot cache counters on stderr, next
-// to the result-store summary: how many cells re-used a cached post-setup
-// image (hits), how many had to run workload Setup (misses), and how many
-// copy-on-write clones were handed out.
-func snapshotSummary() snapshot.Metrics {
-	m := snapshot.Default.Metrics()
-	fmt.Fprintf(os.Stderr, "dhtm-bench: snapshots: %d hits, %d misses, %d clones, %d cached images\n",
-		m.Hits, m.Misses, m.Clones, m.Entries)
-	return m
+// telemetrySummary folds the result-store and setup-snapshot counters —
+// both now registry-backed — into one stderr line. store may be nil (no
+// -store): the snapshot half still reports.
+func telemetrySummary(store *resultstore.Store) snapshot.Metrics {
+	sm := snapshot.Default.Metrics()
+	line := "dhtm-bench: telemetry:"
+	if store != nil {
+		m := store.Metrics()
+		line += fmt.Sprintf(" store %s %d hits (%d mem, %d disk) / %d misses / %d simulated / %d shared / %d written / %d corrupt;",
+			store.Dir(), m.Hits(), m.MemHits, m.DiskHits, m.Misses, m.Computes, m.Shared, m.Writes, m.Corrupt)
+	}
+	line += fmt.Sprintf(" snapshots %d hits / %d misses / %d clones / %d cached images",
+		sm.Hits, sm.Misses, sm.Clones, sm.Entries)
+	fmt.Fprintln(os.Stderr, line)
+	return sm
+}
+
+// dumpMetrics writes the process-wide obs registry in Prometheus text
+// exposition format — every dhtm_runner_*, dhtm_resultstore_*,
+// dhtm_snapshot_* and dhtm_cell_phase_seconds series the run touched.
+func dumpMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func main() { os.Exit(run()) }
@@ -101,7 +124,16 @@ func run() int {
 	scenarioPath := flag.String("scenario", "", "run an experiment- or sweep-mode scenario file; output is the rendered tables, byte-identical to dhtm-serve's /tables for the same file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
+	metricsOut := flag.String("metrics", "", "write the run's metrics registry in Prometheus text format to this file at exit")
 	flag.Parse()
+
+	if *metricsOut != "" {
+		defer func() {
+			if err := dumpMetrics(*metricsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "dhtm-bench: writing metrics: %v\n", err)
+			}
+		}()
+	}
 
 	// Ctrl-C cancels the sweep cleanly: in-flight cells finish (and, with
 	// -store, persist), skipped cells report runner.ErrCancelled.
@@ -165,7 +197,7 @@ func run() int {
 	var store *resultstore.Store
 	if *storeDir != "" {
 		var err error
-		if store, err = resultstore.Open(*storeDir, resultstore.Options{}); err != nil {
+		if store, err = resultstore.Open(*storeDir, resultstore.Options{Registry: obs.Default}); err != nil {
 			fmt.Fprintf(os.Stderr, "dhtm-bench: %v\n", err)
 			return 1
 		}
@@ -241,10 +273,8 @@ func run() int {
 	if store != nil {
 		m := store.Metrics()
 		doc.Store = &m
-		fmt.Fprintf(os.Stderr, "dhtm-bench: store %s: %d hits (%d mem, %d disk), %d misses, %d simulated, %d shared, %d written, %d corrupt\n",
-			store.Dir(), m.Hits(), m.MemHits, m.DiskHits, m.Misses, m.Computes, m.Shared, m.Writes, m.Corrupt)
 	}
-	sm := snapshotSummary()
+	sm := telemetrySummary(store)
 	doc.Snapshots = &sm
 	if *jsonOut {
 		if err := writeJSON(os.Stdout, doc); err != nil {
@@ -294,7 +324,7 @@ func runScenario(ctx context.Context, path string, parallel int, seed int64, sto
 	}
 	var store *resultstore.Store
 	if storeDir != "" {
-		if store, err = resultstore.Open(storeDir, resultstore.Options{}); err != nil {
+		if store, err = resultstore.Open(storeDir, resultstore.Options{Registry: obs.Default}); err != nil {
 			fmt.Fprintf(os.Stderr, "dhtm-bench: %v\n", err)
 			return 1
 		}
@@ -347,12 +377,7 @@ func runScenario(ctx context.Context, path string, parallel int, seed int64, sto
 		}
 	}
 
-	if store != nil {
-		m := store.Metrics()
-		fmt.Fprintf(os.Stderr, "dhtm-bench: store %s: %d hits (%d mem, %d disk), %d misses, %d simulated, %d shared, %d written, %d corrupt\n",
-			store.Dir(), m.Hits(), m.MemHits, m.DiskHits, m.Misses, m.Computes, m.Shared, m.Writes, m.Corrupt)
-	}
-	snapshotSummary()
+	telemetrySummary(store)
 	if err := ctx.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "dhtm-bench: interrupted; partial results above, re-run with the same -store to resume")
 		return 1

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"dhtm/internal/crashtest"
+	"dhtm/internal/obs"
 	"dhtm/internal/registry"
 	"dhtm/internal/scenario"
 )
@@ -61,6 +62,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON reports on stdout")
 	progress := flag.Bool("progress", false, "log per-point completion to stderr")
 	scenarioPath := flag.String("scenario", "", "run a crashtest-mode scenario file instead of -design/-workload (see examples/scenarios)")
+	metricsOut := flag.String("metrics", "", "write the run's metrics registry in Prometheus text format to this file at exit")
 	flag.Parse()
 
 	var configs []crashtest.Config
@@ -184,6 +186,21 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(reports); err != nil {
 			fail("encoding JSON: %v", err)
+		}
+	}
+	// Written before the exit-status check so a failing exploration still
+	// leaves its dhtm_crashtest_* counters (points, crash images, per-oracle
+	// failures) on disk for post-mortem.
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err == nil {
+			err = obs.Default.WriteText(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fail("writing metrics: %v", err)
 		}
 	}
 	if failed {

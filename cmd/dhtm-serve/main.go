@@ -16,6 +16,11 @@
 //	curl -N localhost:8080/api/v1/jobs/job-000001/events     # SSE stream
 //	curl -s localhost:8080/api/v1/jobs/job-000001/tables     # rendered tables
 //	curl -s localhost:8080/api/v1/store                      # cache hit counters
+//	curl -s localhost:8080/metrics                           # Prometheus exposition
+//
+// GET / serves a live HTML dashboard (jobs, progress bars, phase breakdowns,
+// store hit ratios) over the same API. -pprof mounts net/http/pprof under
+// /debug/pprof/ for profiling a running service.
 //
 // Re-submitting the same campaign answers every cell from the store — zero
 // cells simulated (watch "cached" climb in /api/v1/jobs/{id} and the store
@@ -27,12 +32,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"dhtm/internal/obs"
 	"dhtm/internal/resultstore"
 	"dhtm/internal/serve"
 )
@@ -43,13 +50,27 @@ func main() {
 	workers := flag.Int("workers", 2, "jobs executing concurrently; queued jobs wait in submission order")
 	parallel := flag.Int("parallel", 0, "per-job cell worker-pool cap (0 = GOMAXPROCS)")
 	memEntries := flag.Int("mem", 0, "in-memory LRU capacity in results (0 = default 4096, negative = disabled)")
+	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines instead of logfmt-style text")
+	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes heap contents; trusted listeners only)")
 	flag.Parse()
 
-	store, err := resultstore.Open(*storeDir, resultstore.Options{MemEntries: *memEntries})
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+
+	// Everything reports into the process-wide obs.Default plane — the store
+	// opened here, the runner/snapshot/crashtest layers at package init, and
+	// the server's own families — so GET /metrics is one coherent view.
+	store, err := resultstore.Open(*storeDir, resultstore.Options{MemEntries: *memEntries, Registry: obs.Default})
 	if err != nil {
 		fail("%v", err)
 	}
-	srv, err := serve.New(serve.Config{Store: store, Workers: *workers, CellParallel: *parallel})
+	srv, err := serve.New(serve.Config{
+		Store: store, Workers: *workers, CellParallel: *parallel,
+		Registry: obs.Default, Logger: logger, Pprof: *withPprof,
+	})
 	if err != nil {
 		fail("%v", err)
 	}
@@ -62,7 +83,8 @@ func main() {
 	if where == "" {
 		where = "(memory only)"
 	}
-	fmt.Fprintf(os.Stderr, "dhtm-serve: listening on %s, store %s, %d job workers\n", *addr, where, *workers)
+	fmt.Fprintf(os.Stderr, "dhtm-serve: listening on %s, store %s, %d job workers; dashboard at /, metrics at /metrics\n",
+		*addr, where, *workers)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -34,14 +34,54 @@ import (
 	"fmt"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"dhtm/internal/memdev"
+	"dhtm/internal/obs"
 	"dhtm/internal/registry"
 	"dhtm/internal/runner"
 	"dhtm/internal/txn"
 )
+
+// Exploration metrics land in obs.Default, the process-wide telemetry plane.
+var (
+	metricPoints = obs.Default.Counter("dhtm_crashtest_points_total",
+		"Crash points selected for exploration.")
+	metricImages = obs.Default.Counter("dhtm_crashtest_crash_images_total",
+		"Crash images explored (points × adversary masks).")
+	metricMasksPerPoint = obs.Default.Histogram("dhtm_crashtest_masks_per_point",
+		"Adversary masks fanned out per crash point.", obs.ExpBuckets(1, 2, 12))
+	metricPanics = obs.Default.Counter("dhtm_crashtest_panic_recoveries_total",
+		"Panics recovered inside point exploration (each is also an oracle failure).")
+	metricPhases = obs.CellPhaseHistograms(obs.Default)
+
+	// metricOracleFailures has one fixed series per failure class; the label
+	// value is the prefix explorePoint stamps on PointResult.Err.
+	metricOracleFailures = func() map[string]*obs.Counter {
+		m := make(map[string]*obs.Counter)
+		for _, o := range []string{"invariant", "prefix", "idempotency", "differential", "recovery", "determinism", "panic", "other"} {
+			m[o] = obs.Default.Counter("dhtm_crashtest_oracle_failures_total",
+				"Crash images that violated an oracle, by failure class.", obs.L("oracle", o))
+		}
+		return m
+	}()
+)
+
+// oracleLabel maps a PointResult.Err to its metric label: the text before the
+// first colon, with the " oracle" suffix dropped.
+func oracleLabel(errStr string) string {
+	head, _, ok := strings.Cut(errStr, ":")
+	if !ok {
+		return "other"
+	}
+	head = strings.TrimSuffix(head, " oracle")
+	if _, known := metricOracleFailures[head]; !known {
+		return "other"
+	}
+	return head
+}
 
 // Selection chooses which crash points of the persist-event space to explore.
 type Selection struct {
@@ -401,6 +441,8 @@ func Explore(ctx context.Context, cfg Config) (*Report, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("crashtest: exploration cancelled: %w", err)
 	}
+	metricPoints.Add(uint64(len(points)))
+	metricImages.Add(uint64(len(tasks)))
 
 	rep := &Report{
 		Design: cfg.Design, Workload: cfg.Workload, Cores: cfg.Cores,
@@ -427,6 +469,11 @@ func Explore(ctx context.Context, cfg Config) (*Report, error) {
 		if r.Err != "" {
 			rep.Failed++
 			rep.Failures = append(rep.Failures, r)
+			o := oracleLabel(r.Err)
+			metricOracleFailures[o].Inc()
+			if o == "panic" {
+				metricPanics.Inc()
+			}
 			continue
 		}
 		rep.ReplayHist[r.Replayed]++
@@ -480,7 +527,9 @@ func (c Config) buildTasks(trace []traceEvent, points []int, runSeed int64) ([]t
 	var tasks []task
 	for _, p := range points {
 		n := p - int(wStarts[p])
-		for _, m := range adv.Masks(uint64(p), n) {
+		masks := adv.Masks(uint64(p), n)
+		metricMasksPerPoint.Observe(float64(len(masks)))
+		for _, m := range masks {
 			tasks = append(tasks, task{point: p, wStart: wStarts[p], mask: m})
 		}
 	}

@@ -3,9 +3,11 @@ package crashtest
 import (
 	"fmt"
 	"runtime/debug"
+	"time"
 
 	"dhtm/internal/config"
 	"dhtm/internal/memdev"
+	"dhtm/internal/obs"
 	"dhtm/internal/recovery"
 	"dhtm/internal/registry"
 	"dhtm/internal/runner"
@@ -234,7 +236,10 @@ func (c Config) explorePoint(seed int64, trace []traceEvent, tk task, dc *diffCt
 	res.RolledBack = len(report.RolledBack)
 
 	// Oracle 1: the workload's own structural invariants.
-	if err := w.Verify(img); err != nil {
+	vstart := time.Now()
+	err = w.Verify(img)
+	metricPhases.Observe(obs.PhaseVerify, time.Since(vstart))
+	if err != nil {
 		res.Err = "invariant oracle: " + err.Error()
 		return res
 	}

@@ -14,8 +14,10 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"dhtm/internal/config"
+	"dhtm/internal/obs"
 	"dhtm/internal/registry"
 	"dhtm/internal/resultstore"
 	"dhtm/internal/runner"
@@ -56,22 +58,27 @@ func NewRuntime(env *txn.Env, design string) (txn.Runtime, error) {
 // safe to call from many goroutines at once: snapshot images are frozen, and
 // everything mutable is per-invocation.
 func Execute(cell runner.Cell) (workloads.RunResult, error) {
+	trace := &obs.CellTrace{}
 	cfg := config.Default()
 	if cell.Cores > 0 {
 		cfg.NumCores = cell.Cores
 	}
 	cfg = cell.Overrides.Apply(cfg)
 	p := workloads.Params{Cores: cfg.NumCores, Seed: cell.Seed, OpsPerTx: cell.OpsPerTx}
+	start := time.Now()
 	prep, err := snapshot.Default.Prepare(cfg, cell.Workload, p)
+	trace.Add(obs.PhaseSetup, time.Since(start))
 	if err != nil {
 		return workloads.RunResult{}, err
 	}
+	start = time.Now()
 	env, err := txn.NewEnvOn(cfg, prep.NewStore())
 	if err != nil {
 		return workloads.RunResult{}, err
 	}
 	defer env.Release()
 	rt, err := NewRuntime(env, cell.Design)
+	trace.Add(obs.PhaseClone, time.Since(start))
 	if err != nil {
 		return workloads.RunResult{}, err
 	}
@@ -79,7 +86,11 @@ func Execute(cell runner.Cell) (workloads.RunResult, error) {
 	if txPerCore <= 0 {
 		txPerCore = 16
 	}
-	return workloads.RunPrepared(env, rt, prep.Workload, p, txPerCore, true, nil, nil)
+	start = time.Now()
+	res, err := workloads.RunPrepared(env, rt, prep.Workload, p, txPerCore, true, nil, nil)
+	trace.Add(obs.PhaseRun, time.Since(start))
+	res.Phases = trace
+	return res, err
 }
 
 // Options scales the experiments (Quick shrinks transaction counts so the

@@ -29,8 +29,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
-	"sync/atomic"
+	"time"
 
+	"dhtm/internal/obs"
 	"dhtm/internal/workloads"
 )
 
@@ -101,6 +102,11 @@ type Options struct {
 	// MemEntries caps the in-memory LRU front (0 = DefaultMemEntries,
 	// negative = disable the LRU entirely).
 	MemEntries int
+	// Registry receives the store's dhtm_resultstore_* metric families. Nil
+	// gives the store a private registry, so independent stores (and tests
+	// asserting exact counts) never share counters; processes that expose one
+	// telemetry plane pass obs.Default.
+	Registry *obs.Registry
 }
 
 // DefaultMemEntries is the LRU capacity when Options.MemEntries is zero.
@@ -116,14 +122,19 @@ type Store struct {
 	lru    *lruCache
 	flight map[string]*call
 
-	memHits   atomic.Uint64
-	diskHits  atomic.Uint64
-	misses    atomic.Uint64
-	corrupt   atomic.Uint64
-	computes  atomic.Uint64
-	shared    atomic.Uint64
-	writes    atomic.Uint64
-	writeErrs atomic.Uint64
+	// Counters live in an obs registry (private unless Options.Registry was
+	// set); Metrics() and the JSON store endpoint read the same handles the
+	// hot path increments, so there is exactly one set of numbers.
+	memHits      *obs.Counter
+	diskHits     *obs.Counter
+	misses       *obs.Counter
+	corrupt      *obs.Counter
+	computes     *obs.Counter
+	shared       *obs.Counter
+	writes       *obs.Counter
+	writeErrs    *obs.Counter
+	readSeconds  *obs.Histogram
+	writeSeconds *obs.Histogram
 }
 
 // call is one in-flight computation; waiters block on done and then read
@@ -139,6 +150,30 @@ type call struct {
 // empty dir opens a memory-only store.
 func Open(dir string, opts Options) (*Store, error) {
 	s := &Store{dir: dir, flight: make(map[string]*call)}
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	s.memHits = reg.Counter("dhtm_resultstore_hits_total",
+		"Result-store lookups answered without computing, by cache tier.", obs.L("tier", "mem"))
+	s.diskHits = reg.Counter("dhtm_resultstore_hits_total",
+		"Result-store lookups answered without computing, by cache tier.", obs.L("tier", "disk"))
+	s.misses = reg.Counter("dhtm_resultstore_misses_total",
+		"Result-store lookups that found nothing usable.")
+	s.corrupt = reg.Counter("dhtm_resultstore_corrupt_total",
+		"On-disk records rejected as unreadable, unparsable, version-skewed or key-mismatched (each is also a miss).")
+	s.computes = reg.Counter("dhtm_resultstore_computes_total",
+		"GetOrCompute compute functions executed — simulations that actually ran.")
+	s.shared = reg.Counter("dhtm_resultstore_shared_total",
+		"Callers that waited on another goroutine's in-flight compute.")
+	s.writes = reg.Counter("dhtm_resultstore_writes_total",
+		"Result records durably persisted (atomic renames).")
+	s.writeErrs = reg.Counter("dhtm_resultstore_write_errors_total",
+		"Result records that computed fine but failed to persist.")
+	s.readSeconds = reg.Histogram("dhtm_resultstore_read_seconds",
+		"Latency of reading and validating one on-disk result record.", obs.IOBuckets)
+	s.writeSeconds = reg.Histogram("dhtm_resultstore_write_seconds",
+		"Latency of persisting one result record (encode, write, rename).", obs.IOBuckets)
 	switch {
 	case opts.MemEntries == 0:
 		s.lru = newLRU(DefaultMemEntries)
@@ -164,17 +199,18 @@ func (s *Store) path(hash string) string {
 	return filepath.Join(s.dir, s.versionDir(), hash[:2], hash+".json")
 }
 
-// Metrics returns a snapshot of the counters.
+// Metrics returns a snapshot of the counters. The values are read from the
+// same registry series the hot path increments.
 func (s *Store) Metrics() Metrics {
 	return Metrics{
-		MemHits:     s.memHits.Load(),
-		DiskHits:    s.diskHits.Load(),
-		Misses:      s.misses.Load(),
-		Corrupt:     s.corrupt.Load(),
-		Computes:    s.computes.Load(),
-		Shared:      s.shared.Load(),
-		Writes:      s.writes.Load(),
-		WriteErrors: s.writeErrs.Load(),
+		MemHits:     s.memHits.Value(),
+		DiskHits:    s.diskHits.Value(),
+		Misses:      s.misses.Value(),
+		Corrupt:     s.corrupt.Value(),
+		Computes:    s.computes.Value(),
+		Shared:      s.shared.Value(),
+		Writes:      s.writes.Value(),
+		WriteErrors: s.writeErrs.Value(),
 	}
 }
 
@@ -233,7 +269,10 @@ func (s *Store) GetOrCompute(k Key, compute func() (workloads.RunResult, error))
 		if c.err != nil {
 			return workloads.RunResult{}, false, c.err
 		}
-		return detach(c.res), true, nil
+		shared := detach(c.res)
+		// The leader's phase trace describes its execution, not this caller's.
+		shared.Phases = nil
+		return shared, true, nil
 	}
 	c := &call{done: make(chan struct{})}
 	s.flight[h] = c
@@ -277,9 +316,11 @@ func (s *Store) fill(h string, k Key, compute func() (workloads.RunResult, error
 		// A persist failure (disk full, permissions yanked mid-campaign) must
 		// not discard a simulation that succeeded: serve the result, keep it
 		// in memory, and surface the sick disk through WriteErrors.
+		wstart := time.Now()
 		if err := s.diskPut(h, k, res); err != nil {
 			s.writeErrs.Add(1)
 		}
+		res.Phases.Add(obs.PhaseStoreWrite, time.Since(wstart))
 	}
 	return res, false, nil
 }
@@ -291,13 +332,17 @@ func (s *Store) diskGet(h string, k Key) (workloads.RunResult, bool) {
 	if s.dir == "" {
 		return workloads.RunResult{}, false
 	}
+	start := time.Now()
 	raw, err := os.ReadFile(s.path(h))
 	if err != nil {
 		if !os.IsNotExist(err) {
 			s.corrupt.Add(1)
 		}
+		// A missing file is not a record read; don't let cold-sweep stat
+		// failures dominate the read-latency histogram.
 		return workloads.RunResult{}, false
 	}
+	defer s.readSeconds.ObserveSince(start)
 	var rec record
 	if err := json.Unmarshal(raw, &rec); err != nil {
 		s.corrupt.Add(1)
@@ -313,6 +358,7 @@ func (s *Store) diskGet(h string, k Key) (workloads.RunResult, bool) {
 // diskPut writes the record under a temporary name in its final directory
 // and renames it into place, so readers only ever observe complete records.
 func (s *Store) diskPut(h string, k Key, res workloads.RunResult) error {
+	start := time.Now()
 	path := s.path(h)
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return fmt.Errorf("resultstore: %w", err)
@@ -339,6 +385,7 @@ func (s *Store) diskPut(h string, k Key, res workloads.RunResult) error {
 		return fmt.Errorf("resultstore: %w", err)
 	}
 	s.writes.Add(1)
+	s.writeSeconds.ObserveSince(start)
 	return nil
 }
 
@@ -360,6 +407,9 @@ func (s *Store) memPut(h string, res workloads.RunResult) {
 	if s.lru == nil {
 		return
 	}
+	// Phase traces describe one concrete execution; a cached copy answers
+	// later lookups that did no such work, so it must not carry one.
+	res.Phases = nil
 	s.mu.Lock()
 	s.lru.put(h, res)
 	s.mu.Unlock()

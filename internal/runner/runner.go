@@ -21,9 +21,27 @@ import (
 	"time"
 
 	"dhtm/internal/config"
+	"dhtm/internal/obs"
 	"dhtm/internal/resultstore"
 	"dhtm/internal/stats"
 	"dhtm/internal/workloads"
+)
+
+// Sweep metrics land in obs.Default: every sweep in the process (CLI runs,
+// serve jobs, crash-test counting passes) rolls into one telemetry plane.
+// Counters are monotone totals, so per-plan numbers stay in ResultSet.
+var (
+	metricCellsStarted = obs.Default.Counter("dhtm_runner_cells_started_total",
+		"Sweep cells handed to a worker for execution.")
+	metricCellsOK = obs.Default.Counter("dhtm_runner_cells_completed_total",
+		"Sweep cells completed, by outcome.", obs.L("status", "ok"))
+	metricCellsCached = obs.Default.Counter("dhtm_runner_cells_completed_total",
+		"Sweep cells completed, by outcome.", obs.L("status", "cached"))
+	metricCellsFailed = obs.Default.Counter("dhtm_runner_cells_completed_total",
+		"Sweep cells completed, by outcome.", obs.L("status", "failed"))
+	metricCellSeconds = obs.Default.Histogram("dhtm_runner_cell_seconds",
+		"Wall-clock duration of actually-simulated (non-cached) cells.", obs.DurationBuckets)
+	metricPhases = obs.CellPhaseHistograms(obs.Default)
 )
 
 // ErrCancelled marks cells whose sweep was cancelled before they could run.
@@ -384,8 +402,19 @@ func Run(ctx context.Context, plan Plan, exec ExecFunc, opts Options) (*ResultSe
 			// simulation but keep the per-cell error reporting uniform.
 			res = Result{Cell: cell, Err: ErrCancelled}
 		} else {
+			metricCellsStarted.Inc()
 			run, cached, err := execute(cell, plan.Store, exec)
 			res = Result{Cell: cell, Run: run, Err: err, Cached: cached, Elapsed: time.Since(start)}
+			switch {
+			case err != nil:
+				metricCellsFailed.Inc()
+			case cached:
+				metricCellsCached.Inc()
+			default:
+				metricCellsOK.Inc()
+				metricCellSeconds.Observe(res.Elapsed.Seconds())
+			}
+			metricPhases.ObserveTrace(run.Phases)
 		}
 		rs.Results[i] = res
 		if opts.Progress != nil {

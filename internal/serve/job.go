@@ -9,6 +9,7 @@ import (
 
 	"dhtm/internal/crashtest"
 	"dhtm/internal/harness"
+	"dhtm/internal/obs"
 	"dhtm/internal/registry"
 	"dhtm/internal/runner"
 	"dhtm/internal/scenario"
@@ -238,9 +239,10 @@ type Job struct {
 	ID   string  `json:"id"`
 	Kind JobKind `json:"kind"`
 
-	spec   JobSpec
-	ctx    context.Context
-	cancel context.CancelFunc
+	spec    JobSpec
+	ctx     context.Context
+	cancel  context.CancelFunc
+	metrics *serveMetrics // nil for jobs built outside a server (tests)
 
 	mu        sync.Mutex
 	state     JobState
@@ -249,6 +251,7 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 	cells     CellProgress
+	phases    obs.CellTrace // summed over the job's simulated cells
 	events    []Event
 	nextSeq   int
 	subs      map[chan Event]struct{}
@@ -258,17 +261,25 @@ type Job struct {
 	crashtests  []*crashtest.Report
 }
 
-// Status is the polling view of a job (GET /api/v1/jobs/{id}).
+// Status is the polling view of a job (GET /api/v1/jobs/{id}). The JSON
+// shape is pinned by the golden test in status_golden_test.go.
 type Status struct {
-	ID        string       `json:"id"`
-	Kind      JobKind      `json:"kind"`
-	State     JobState     `json:"state"`
-	Error     string       `json:"error,omitempty"`
-	Submitted time.Time    `json:"submitted"`
-	Started   *time.Time   `json:"started,omitempty"`
-	Finished  *time.Time   `json:"finished,omitempty"`
-	Cells     CellProgress `json:"cells"`
-	Events    int          `json:"events"`
+	ID    string   `json:"id"`
+	Kind  JobKind  `json:"kind"`
+	State JobState `json:"state"`
+	Error string   `json:"error,omitempty"`
+	// QueuedAt is when the job was accepted; StartedAt/FinishedAt bound its
+	// execution and are omitted until reached (RFC 3339 like every
+	// encoding/json time).
+	QueuedAt   time.Time    `json:"queued_at"`
+	StartedAt  time.Time    `json:"started_at,omitzero"`
+	FinishedAt time.Time    `json:"finished_at,omitzero"`
+	Cells      CellProgress `json:"cells"`
+	// PhaseNS is the wall-clock phase breakdown summed over the job's
+	// actually-simulated cells, keyed by obs phase name (clone, setup, run,
+	// verify, store_write), in nanoseconds. Cached cells contribute nothing.
+	PhaseNS map[string]int64 `json:"phase_ns,omitempty"`
+	Events  int              `json:"events"`
 
 	// Spec and the result payloads below are included by the single-job
 	// endpoint and omitted from listings.
@@ -300,16 +311,15 @@ func (j *Job) summary() Status {
 	defer j.mu.Unlock()
 	st := Status{
 		ID: j.ID, Kind: j.Kind, State: j.state, Error: j.err,
-		Submitted: j.submitted, Cells: j.cells, Events: j.nextSeq,
+		QueuedAt: j.submitted, StartedAt: j.started, FinishedAt: j.finished,
+		Cells: j.cells, Events: j.nextSeq,
 	}
-	if !j.started.IsZero() {
-		t := j.started
-		st.Started = &t
-	}
-	if !j.finished.IsZero() {
-		t := j.finished
-		st.Finished = &t
-	}
+	j.phases.Each(func(p obs.Phase, d time.Duration) {
+		if st.PhaseNS == nil {
+			st.PhaseNS = make(map[string]int64, obs.NumPhases)
+		}
+		st.PhaseNS[p.String()] = int64(d)
+	})
 	return st
 }
 
@@ -369,6 +379,7 @@ func (j *Job) unsubscribe(ch chan Event) {
 // setState transitions the job and publishes a state event.
 func (j *Job) setState(state JobState, errMsg string) {
 	j.mu.Lock()
+	prev := j.state
 	j.state = state
 	j.err = errMsg
 	switch state {
@@ -377,7 +388,9 @@ func (j *Job) setState(state JobState, errMsg string) {
 	case StateDone, StateFailed, StateCancelled:
 		j.finished = time.Now()
 	}
+	submitted := j.submitted
 	j.mu.Unlock()
+	j.metrics.jobTransition(prev, state, submitted)
 	j.publish(Event{Type: "state", State: state, Error: errMsg})
 	if state.terminal() {
 		j.mu.Lock()
@@ -401,6 +414,7 @@ func (j *Job) cellDone(experiment string, ev runner.ProgressEvent) {
 	if ev.Result.Err != nil {
 		j.cells.Failed++
 	}
+	ev.Result.Run.Phases.Each(func(p obs.Phase, d time.Duration) { j.phases.Add(p, d) })
 	done, total := j.cells.Done, j.cells.Total
 	j.mu.Unlock()
 	cellErr := ""

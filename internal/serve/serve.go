@@ -28,15 +28,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dhtm/internal/crashtest"
 	"dhtm/internal/harness"
+	"dhtm/internal/obs"
 	"dhtm/internal/registry"
 	"dhtm/internal/resultstore"
 	"dhtm/internal/runner"
@@ -60,11 +64,94 @@ type Config struct {
 	// MaxJobs bounds the retained job history (<= 0 means 1024). Submits
 	// beyond it are rejected with 503 until old terminal jobs are evicted.
 	MaxJobs int
+	// Registry receives the server's dhtm_serve_* metric families and backs
+	// GET /metrics. Nil means obs.Default — the process-wide plane that the
+	// runner, crashtest and snapshot layers already report into.
+	Registry *obs.Registry
+	// Logger receives structured request and job lifecycle logs. Nil disables
+	// logging.
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof/ when true. Off by
+	// default: profiling endpoints expose heap contents and should be
+	// opted into on trusted listeners only.
+	Pprof bool
+}
+
+// serveMetrics bundles the server's registry handles. All methods are
+// nil-receiver-safe so Jobs built outside a server (tests) need no wiring.
+type serveMetrics struct {
+	queueDepth *obs.Gauge
+	sseSubs    *obs.Gauge
+	jobSeconds *obs.Histogram
+	jobsTotal  map[JobState]*obs.Counter
+	jobsGauge  map[JobState]*obs.Gauge
+	reg        *obs.Registry
+}
+
+func newServeMetrics(reg *obs.Registry) *serveMetrics {
+	m := &serveMetrics{
+		reg: reg,
+		queueDepth: reg.Gauge("dhtm_serve_queue_depth",
+			"Jobs accepted but still waiting for a worker slot."),
+		sseSubs: reg.Gauge("dhtm_serve_sse_subscribers",
+			"Currently connected SSE progress streams."),
+		jobSeconds: reg.Histogram("dhtm_serve_job_seconds",
+			"Job wall-clock time from submission to a terminal state.", obs.DurationBuckets),
+		jobsTotal: make(map[JobState]*obs.Counter),
+		jobsGauge: make(map[JobState]*obs.Gauge),
+	}
+	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		m.jobsTotal[st] = reg.Counter("dhtm_serve_jobs_total",
+			"Job state transitions entered, by state.", obs.L("state", string(st)))
+		m.jobsGauge[st] = reg.Gauge("dhtm_serve_jobs",
+			"Retained jobs currently in each state.", obs.L("state", string(st)))
+	}
+	return m
+}
+
+// jobAccepted records a freshly submitted job (its first state is queued,
+// entered without a setState transition).
+func (m *serveMetrics) jobAccepted() {
+	if m == nil {
+		return
+	}
+	m.jobsTotal[StateQueued].Inc()
+	m.jobsGauge[StateQueued].Inc()
+	m.queueDepth.Inc()
+}
+
+// jobTransition records a state change; on a terminal state it also observes
+// the job's submit-to-finish latency.
+func (m *serveMetrics) jobTransition(from, to JobState, submitted time.Time) {
+	if m == nil || from == to {
+		return
+	}
+	m.jobsTotal[to].Inc()
+	if g, ok := m.jobsGauge[from]; ok {
+		g.Dec()
+	}
+	m.jobsGauge[to].Inc()
+	if to.terminal() {
+		m.jobSeconds.ObserveSince(submitted)
+	}
+}
+
+// jobEvicted drops an evicted job from the composition gauge.
+func (m *serveMetrics) jobEvicted(state JobState) {
+	if m == nil {
+		return
+	}
+	if g, ok := m.jobsGauge[state]; ok {
+		g.Dec()
+	}
 }
 
 // Server executes campaigns. Create with New, expose with Handler.
 type Server struct {
-	cfg Config
+	cfg     Config
+	metrics *serveMetrics
+	log     *slog.Logger
+	nextReq atomic.Uint64 // request-ID counter
 
 	mu     sync.Mutex
 	jobs   map[string]*Job
@@ -95,9 +182,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxJobs <= 0 {
 		cfg.MaxJobs = 1024
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.DiscardHandler)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		cfg:     cfg,
+		metrics: newServeMetrics(cfg.Registry),
+		log:     log,
 		jobs:    make(map[string]*Job),
 		sem:     make(chan struct{}, cfg.Workers),
 		baseCtx: ctx,
@@ -118,7 +214,9 @@ func (s *Server) Store() *resultstore.Store { return s.cfg.Store }
 // Handler returns the HTTP API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleDashboard)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.cfg.Registry.Handler())
 	mux.HandleFunc("GET /api/v1/store", s.handleStore)
 	mux.HandleFunc("GET /api/v1/catalog", s.handleCatalog)
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
@@ -127,7 +225,75 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/tables", s.handleTables)
-	return mux
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return s.instrument(mux)
+}
+
+// statusWriter captures the response code for request metrics and logs. It
+// forwards Flush so SSE streaming keeps working through the wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps the API with per-handler request metrics and structured
+// request logging. Handlers are labelled by their route pattern, never the
+// raw URL, so the label space stays bounded.
+func (s *Server) instrument(mux *http.ServeMux) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := fmt.Sprintf("req-%06d", s.nextReq.Add(1))
+		w.Header().Set("X-Request-Id", reqID)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		mux.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+
+		pattern := r.Pattern
+		if pattern == "" {
+			pattern = "unmatched"
+		}
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		s.cfg.Registry.Counter("dhtm_serve_requests_total",
+			"HTTP requests served, by route pattern.", obs.L("handler", pattern)).Inc()
+		s.cfg.Registry.Histogram("dhtm_serve_request_seconds",
+			"HTTP request latency, by route pattern.", obs.DurationBuckets, obs.L("handler", pattern)).Observe(elapsed.Seconds())
+		s.log.Info("request",
+			"req_id", reqID,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"handler", pattern,
+			"status", sw.status,
+			"elapsed", elapsed,
+		)
+	})
 }
 
 // writeJSON writes v with status code.
@@ -246,6 +412,7 @@ func (s *Server) submit(spec JobSpec) (*Job, error) {
 		spec:      spec,
 		ctx:       ctx,
 		cancel:    cancel,
+		metrics:   s.metrics,
 		state:     StateQueued,
 		submitted: time.Now(),
 		subs:      map[chan Event]struct{}{},
@@ -253,6 +420,8 @@ func (s *Server) submit(spec JobSpec) (*Job, error) {
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	s.mu.Unlock()
+	s.metrics.jobAccepted()
+	s.log.Info("job accepted", "job", job.ID, "kind", job.Kind)
 
 	s.wg.Add(1)
 	go func() {
@@ -261,8 +430,10 @@ func (s *Server) submit(spec JobSpec) (*Job, error) {
 		// Take a worker slot; a cancel while queued must not wedge the slot.
 		select {
 		case s.sem <- struct{}{}:
+			s.metrics.queueDepth.Dec()
 			defer func() { <-s.sem }()
 		case <-ctx.Done():
+			s.metrics.queueDepth.Dec()
 			job.setState(StateCancelled, "cancelled while queued")
 			return
 		}
@@ -277,11 +448,12 @@ func (s *Server) evictOneLocked() bool {
 	for i, id := range s.order {
 		j := s.jobs[id]
 		j.mu.Lock()
-		terminal := j.state.terminal()
+		state := j.state
 		j.mu.Unlock()
-		if terminal {
+		if state.terminal() {
 			delete(s.jobs, id)
 			s.order = append(s.order[:i], s.order[i+1:]...)
+			s.metrics.jobEvicted(state)
 			return true
 		}
 	}
@@ -316,6 +488,12 @@ func (s *Server) run(job *Job) {
 	default:
 		job.setState(StateFailed, err.Error())
 	}
+	st := job.summary()
+	s.log.Info("job finished",
+		"job", job.ID, "kind", job.Kind, "state", st.State, "error", st.Error,
+		"cells", st.Cells.Done, "cached", st.Cells.Cached, "failed", st.Cells.Failed,
+		"elapsed", st.FinishedAt.Sub(st.QueuedAt),
+	)
 }
 
 // parallel clamps a job's requested cell parallelism to the server cap.
@@ -513,6 +691,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 
 	history, live := job.subscribe()
+	s.metrics.sseSubs.Inc()
+	defer s.metrics.sseSubs.Dec()
 	defer job.unsubscribe(live)
 	for _, ev := range history {
 		if err := writeSSE(w, ev); err != nil {
@@ -551,7 +731,9 @@ func writeSSE(w http.ResponseWriter, ev Event) error {
 
 // handleTables renders a job's results as the same aligned plain text the
 // CLIs print: harness tables for experiment jobs, a synthesized grid table
-// for sweep jobs, a summary for crash tests.
+// for sweep jobs, a summary for crash tests. The default output is
+// byte-identical to the CLI rendering (CI diffs the two); ?meta=1 appends a
+// job-lifecycle footer with timestamps and the phase breakdown.
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	job := s.lookup(w, r)
 	if job == nil {
@@ -598,6 +780,27 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 				fmt.Fprintf(w, "  first failure at point %d (%s): %s\n  reproduce: %s\n",
 					rep.FirstFailure.Point, rep.FirstFailure.Class, rep.FirstFailure.Err, rep.Repro)
 			}
+		}
+	}
+	if r.URL.Query().Get("meta") != "" {
+		writeTablesMeta(w, st)
+	}
+}
+
+// writeTablesMeta renders the ?meta=1 footer of /tables: job lifecycle
+// timestamps and the per-phase time breakdown.
+func writeTablesMeta(w io.Writer, st Status) {
+	fmt.Fprintf(w, "# job %s (%s) %s\n", st.ID, st.Kind, st.State)
+	fmt.Fprintf(w, "# queued_at   %s\n", st.QueuedAt.Format(time.RFC3339))
+	if !st.StartedAt.IsZero() {
+		fmt.Fprintf(w, "# started_at  %s\n", st.StartedAt.Format(time.RFC3339))
+	}
+	if !st.FinishedAt.IsZero() {
+		fmt.Fprintf(w, "# finished_at %s\n", st.FinishedAt.Format(time.RFC3339))
+	}
+	for _, name := range obs.PhaseNames() {
+		if ns, ok := st.PhaseNS[name]; ok {
+			fmt.Fprintf(w, "# phase %-11s %s\n", name, time.Duration(ns))
 		}
 	}
 }

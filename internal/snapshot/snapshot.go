@@ -18,10 +18,11 @@ package snapshot
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"dhtm/internal/config"
 	"dhtm/internal/memdev"
+	"dhtm/internal/obs"
 	"dhtm/internal/palloc"
 	"dhtm/internal/registry"
 	"dhtm/internal/stats"
@@ -55,10 +56,14 @@ type Prepared struct {
 // NewStore returns a fresh copy-on-write clone of the prepared image, ready
 // to back one cell's environment.
 func (p *Prepared) NewStore() *memdev.Store {
-	if p.cache != nil {
-		atomic.AddUint64(&p.cache.clones, 1)
+	if p.cache == nil {
+		return p.image.Clone()
 	}
-	return p.image.Clone()
+	start := time.Now()
+	s := p.image.Clone()
+	p.cache.clones.Inc()
+	p.cache.cloneSeconds.ObserveSince(start)
+	return s
 }
 
 // Metrics is a point-in-time snapshot of the cache counters.
@@ -81,9 +86,15 @@ type Cache struct {
 	entries map[Key]*entry
 	order   []Key // insertion order, for eviction
 
-	hits   uint64
-	misses uint64
-	clones uint64
+	// Counters live in an obs registry (private for NewCache, obs.Default for
+	// the package Default), so Metrics() and /metrics read the same series
+	// Prepare and NewStore increment.
+	hits         *obs.Counter
+	misses       *obs.Counter
+	clones       *obs.Counter
+	evictions    *obs.Counter
+	entriesGauge *obs.Gauge
+	cloneSeconds *obs.Histogram
 }
 
 // entry lets concurrent Prepare calls for the same key build the image once:
@@ -95,18 +106,41 @@ type entry struct {
 }
 
 // NewCache returns a cache bounded to maxEntries images (<= 0 means the
-// default bound of 32).
+// default bound of 32) with a private metrics registry — independent caches
+// (and tests asserting exact counts) never share counters.
 func NewCache(maxEntries int) *Cache {
+	return NewCacheIn(obs.NewRegistry(), maxEntries)
+}
+
+// NewCacheIn is NewCache with the registry that receives the cache's
+// dhtm_snapshot_* metric families.
+func NewCacheIn(reg *obs.Registry, maxEntries int) *Cache {
 	if maxEntries <= 0 {
 		maxEntries = 32
 	}
-	return &Cache{maxEntries: maxEntries, entries: make(map[Key]*entry)}
+	return &Cache{
+		maxEntries: maxEntries,
+		entries:    make(map[Key]*entry),
+		hits: reg.Counter("dhtm_snapshot_hits_total",
+			"Prepare calls answered from a cached post-setup image."),
+		misses: reg.Counter("dhtm_snapshot_misses_total",
+			"Prepare calls that had to run workload Setup."),
+		clones: reg.Counter("dhtm_snapshot_clones_total",
+			"Copy-on-write store clones handed to cells."),
+		evictions: reg.Counter("dhtm_snapshot_evictions_total",
+			"Cached images dropped by the entry bound (insertion order)."),
+		entriesGauge: reg.Gauge("dhtm_snapshot_entries",
+			"Cached post-setup images currently resident."),
+		cloneSeconds: reg.Histogram("dhtm_snapshot_clone_seconds",
+			"Latency of one copy-on-write clone of a prepared image.", obs.IOBuckets),
+	}
 }
 
 // Default is the process-wide cache shared by the harness, the crash-point
 // explorer and the benchmarks, so repeated identical cells across experiment
-// grids amortize their setup cost.
-var Default = NewCache(0)
+// grids amortize their setup cost. Its counters land in obs.Default — the
+// registry dhtm-serve exposes at /metrics and the CLIs dump with -metrics.
+var Default = NewCacheIn(obs.Default, 0)
 
 // Prepare returns the prepared image for (cfg, workload, p), running the
 // workload's Setup at most once per key. The parameters are defaulted and
@@ -123,16 +157,18 @@ func (c *Cache) Prepare(cfg config.Config, workload string, p workloads.Params) 
 	c.mu.Lock()
 	e, ok := c.entries[k]
 	if ok {
-		c.hits++
+		c.hits.Inc()
 	} else {
-		c.misses++
+		c.misses.Inc()
 		e = &entry{}
 		c.entries[k] = e
 		c.order = append(c.order, k)
 		for len(c.order) > c.maxEntries {
 			delete(c.entries, c.order[0])
 			c.order = c.order[1:]
+			c.evictions.Inc()
 		}
+		c.entriesGauge.Set(float64(len(c.entries)))
 	}
 	c.mu.Unlock()
 
@@ -163,14 +199,15 @@ func (c *Cache) build(k Key) (*Prepared, error) {
 	return &Prepared{Workload: w, Params: k.Params, image: store, cache: c}, nil
 }
 
-// Metrics returns the cache's counters.
+// Metrics returns the cache's counters, read from the same registry series
+// the hot path increments.
 func (c *Cache) Metrics() Metrics {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Metrics{
-		Hits:    c.hits,
-		Misses:  c.misses,
-		Clones:  atomic.LoadUint64(&c.clones),
+		Hits:    c.hits.Value(),
+		Misses:  c.misses.Value(),
+		Clones:  c.clones.Value(),
 		Entries: len(c.entries),
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"dhtm/internal/engine"
+	"dhtm/internal/obs"
 	"dhtm/internal/palloc"
 	"dhtm/internal/stats"
 	"dhtm/internal/txn"
@@ -25,6 +26,11 @@ type RunResult struct {
 	Committed uint64 `json:"committed"`
 	// Cycles is the makespan of the run.
 	Cycles uint64 `json:"cycles"`
+	// Phases is the wall-clock phase breakdown of the execution that produced
+	// this result (clone/setup/run/verify/store_write). It describes one
+	// concrete execution, not the result's semantics, so it is excluded from
+	// the on-disk record format and never set on cache hits.
+	Phases *obs.CellTrace `json:"-"`
 }
 
 // Throughput returns committed transactions per million cycles.
