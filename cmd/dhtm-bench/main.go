@@ -47,6 +47,7 @@ import (
 
 	"dhtm/internal/harness"
 	"dhtm/internal/obs"
+	"dhtm/internal/probe"
 	"dhtm/internal/resultstore"
 	"dhtm/internal/runner"
 	"dhtm/internal/scenario"
@@ -125,7 +126,17 @@ func run() int {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile at exit to this file")
 	metricsOut := flag.String("metrics", "", "write the run's metrics registry in Prometheus text format to this file at exit")
+	tracePath := flag.String("trace", "", "record cycle-domain probes for every computed cell and write one Chrome trace-event / Perfetto JSON file (load it at https://ui.perfetto.dev or chrome://tracing)")
+	traceInterval := flag.Uint64("trace-interval", 0, "probe sampling interval in simulated cycles (0 = default "+fmt.Sprint(probe.DefaultInterval)+"; needs -trace)")
 	flag.Parse()
+
+	var tc probe.Config
+	if *tracePath != "" {
+		tc = probe.Config{Interval: *traceInterval}
+		if tc.Interval == 0 {
+			tc.Interval = probe.DefaultInterval
+		}
+	}
 
 	if *metricsOut != "" {
 		defer func() {
@@ -187,12 +198,12 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "dhtm-bench: -%s cannot be combined with -scenario (the scenario file pins it)\n", conflict)
 			return 2
 		}
-		return runScenario(ctx, *scenarioPath, *parallel, *seed, *storeDir, *progress)
+		return runScenario(ctx, *scenarioPath, *parallel, *seed, *storeDir, *progress, tc, *tracePath)
 	}
 
 	opts := harness.Options{
 		Quick: *quick, TxPerCore: *tx, Cores: *cores, Out: os.Stdout,
-		Parallel: *parallel, Seed: *seed,
+		Parallel: *parallel, Seed: *seed, Trace: tc,
 	}
 	var store *resultstore.Store
 	if *storeDir != "" {
@@ -234,6 +245,7 @@ func run() int {
 
 	doc := document{Seed: *seed, Parallel: *parallel, Quick: *quick}
 	var failures []string
+	var timelines []*probe.Timeline
 	for _, e := range selected {
 		start := time.Now()
 		er := experimentResult{ID: e.ID, Title: e.Title}
@@ -243,6 +255,7 @@ func run() int {
 			// Cells (with their derived seeds) are reported even when some
 			// of them failed, so any cell can be re-run individually.
 			er.Cells = cellsOf(rs)
+			timelines = append(timelines, timelinesOf(rs)...)
 			if err = rs.Err(); err == nil {
 				table, err = e.Reduce(opts, rs)
 			}
@@ -270,6 +283,12 @@ func run() int {
 		doc.Experiments = append(doc.Experiments, er)
 	}
 
+	if *tracePath != "" {
+		if err := writeTrace(*tracePath, timelines); err != nil {
+			fmt.Fprintf(os.Stderr, "dhtm-bench: writing trace: %v\n", err)
+			return 1
+		}
+	}
 	if store != nil {
 		m := store.Metrics()
 		doc.Store = &m
@@ -301,7 +320,7 @@ func run() int {
 // returns for the same document — so CLI and service runs are diffable.
 // Operational knobs (-parallel, -progress, -store, -seed) still apply; the
 // scenario pins everything semantic.
-func runScenario(ctx context.Context, path string, parallel int, seed int64, storeDir string, progress bool) int {
+func runScenario(ctx context.Context, path string, parallel int, seed int64, storeDir string, progress bool, tc probe.Config, tracePath string) int {
 	doc, err := scenario.Load(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dhtm-bench: %v\n", err)
@@ -335,6 +354,7 @@ func runScenario(ctx context.Context, path string, parallel int, seed int64, sto
 	}
 
 	code := 0
+	var timelines []*probe.Timeline
 	switch doc.Mode {
 	case scenario.ModeExperiment:
 		opts := compiled.Options
@@ -343,10 +363,12 @@ func runScenario(ctx context.Context, path string, parallel int, seed int64, sto
 		opts.Seed = seed
 		opts.Progress = onProgress
 		opts.Store = store
+		opts.Trace = tc
 		for _, e := range compiled.Experiments {
 			rs, err := e.RunGrid(ctx, opts)
 			var table *harness.Table
 			if err == nil {
+				timelines = append(timelines, timelinesOf(rs)...)
 				if err = rs.Err(); err == nil {
 					table, err = e.Reduce(opts, rs)
 				}
@@ -364,19 +386,26 @@ func runScenario(ctx context.Context, path string, parallel int, seed int64, sto
 	case scenario.ModeSweep:
 		plan := compiled.Plan
 		plan.Store = store
-		rs, err := runner.Run(ctx, plan, harness.Execute, runner.Options{
+		rs, err := runner.Run(ctx, plan, harness.ExecuteWith(tc), runner.Options{
 			Parallel: parallel, Seed: seed, Progress: onProgress,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dhtm-bench: %v\n", err)
 			return 1
 		}
+		timelines = append(timelines, timelinesOf(rs)...)
 		scenario.SweepTable(plan.Name, scenario.SweepOutcomes(rs)).Render(os.Stdout)
 		if rs.Err() != nil {
 			code = 1
 		}
 	}
 
+	if tracePath != "" {
+		if err := writeTrace(tracePath, timelines); err != nil {
+			fmt.Fprintf(os.Stderr, "dhtm-bench: writing trace: %v\n", err)
+			return 1
+		}
+	}
 	telemetrySummary(store)
 	if err := ctx.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "dhtm-bench: interrupted; partial results above, re-run with the same -store to resume")
@@ -407,6 +436,36 @@ func cellsOf(rs *runner.ResultSet) []runner.Cell {
 		cells[i] = r.Cell
 	}
 	return cells
+}
+
+// timelinesOf collects the probe timelines of a grid's computed cells in
+// plan order (cache hits carry none), keeping the -trace process layout
+// deterministic at any parallelism.
+func timelinesOf(rs *runner.ResultSet) []*probe.Timeline {
+	var out []*probe.Timeline
+	for _, r := range rs.Results {
+		if r.Run.Timeline != nil {
+			out = append(out, r.Run.Timeline)
+		}
+	}
+	return out
+}
+
+// writeTrace writes the collected timelines as one Chrome trace-event file.
+func writeTrace(path string, timelines []*probe.Timeline) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := probe.WriteChromeTrace(f, timelines); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dhtm-bench: trace for %d cell(s) written to %s (open in https://ui.perfetto.dev or chrome://tracing)\n", len(timelines), path)
+	return nil
 }
 
 // writeJSON encodes the document with stable indentation.

@@ -52,6 +52,7 @@ func main() {
 	memEntries := flag.Int("mem", 0, "in-memory LRU capacity in results (0 = default 4096, negative = disabled)")
 	logJSON := flag.Bool("log-json", false, "emit structured logs as JSON lines instead of logfmt-style text")
 	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (exposes heap contents; trusted listeners only)")
+	traceInterval := flag.Uint64("trace-interval", 0, "record cycle-domain probes for every simulated cell, sampling every N simulated cycles (0 = tracing off); traces are served from /api/v1/jobs/{id}/cells/{key}/trace")
 	flag.Parse()
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
@@ -70,6 +71,7 @@ func main() {
 	srv, err := serve.New(serve.Config{
 		Store: store, Workers: *workers, CellParallel: *parallel,
 		Registry: obs.Default, Logger: logger, Pprof: *withPprof,
+		TraceInterval: *traceInterval,
 	})
 	if err != nil {
 		fail("%v", err)

@@ -13,6 +13,7 @@
 //	dhtm-sim -design DHTM -workload queue -crash -image crash.img
 //	dhtm-sim -design ATOM -workload tpcc -cores 4 -tx 4
 //	dhtm-sim -design SO,ATOM,DHTM -workload hash,queue -parallel 4 -json
+//	dhtm-sim -design DHTM -workload hash -trace trace.json -trace-interval 128
 //	dhtm-sim -scenario examples/scenarios/micro-quick.json
 package main
 
@@ -29,6 +30,8 @@ import (
 
 	"dhtm/internal/config"
 	"dhtm/internal/harness"
+	"dhtm/internal/obs"
+	"dhtm/internal/probe"
 	"dhtm/internal/recovery"
 	"dhtm/internal/registry"
 	"dhtm/internal/resultstore"
@@ -65,7 +68,19 @@ func main() {
 	recoverFlag := flag.Bool("recover", false, "run the recovery manager in-process after a crash and verify the workload")
 	scenarioPath := flag.String("scenario", "", "run a sweep-mode scenario file instead of -design/-workload (see examples/scenarios)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	tracePath := flag.String("trace", "", "record cycle-domain probes and write a Chrome trace-event / Perfetto JSON file (load it at https://ui.perfetto.dev or chrome://tracing)")
+	traceInterval := flag.Uint64("trace-interval", 0, "probe sampling interval in simulated cycles (0 = default "+fmt.Sprint(probe.DefaultInterval)+"; needs -trace)")
+	metricsOut := flag.String("metrics", "", "write the run's metrics registry in Prometheus text format to this file at exit")
 	flag.Parse()
+
+	if *metricsOut != "" {
+		defer func() {
+			if err := dumpMetrics(*metricsOut); err != nil {
+				fmt.Fprintf(os.Stderr, "dhtm-sim: writing metrics: %v\n", err)
+			}
+		}()
+	}
+	tc := traceConfig(*tracePath, *traceInterval)
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -94,7 +109,7 @@ func main() {
 			"logbuf", "bw", "crash", "image", "recover"); conflict != "" {
 			fail("-%s cannot be combined with -scenario (the scenario file pins it)", conflict)
 		}
-		runScenario(*scenarioPath, *seed, *parallel, *jsonOut)
+		runScenario(*scenarioPath, *seed, *parallel, *jsonOut, tc, *tracePath)
 		return
 	}
 
@@ -127,7 +142,7 @@ func main() {
 	}
 
 	if len(designs) == 1 && len(wls) == 1 && !*jsonOut {
-		runSingle(designs[0], wls[0], *tx, *cores, *seed, ov, *crash, *image, *recoverFlag)
+		runSingle(designs[0], wls[0], *tx, *cores, *seed, ov, *crash, *image, *recoverFlag, tc, *tracePath)
 		return
 	}
 	if *crash || *image != "" || *recoverFlag {
@@ -143,16 +158,64 @@ func main() {
 			})
 		}
 	}
-	if !runSweep(plan, *seed, *parallel, *jsonOut) {
+	if !runSweep(plan, *seed, *parallel, *jsonOut, tc, *tracePath) {
 		stopProfile()
 		os.Exit(1)
 	}
 }
 
+// traceConfig folds the -trace/-trace-interval flags into a probe config:
+// tracing is on exactly when a trace file was named.
+func traceConfig(path string, interval uint64) probe.Config {
+	if path == "" {
+		return probe.Config{}
+	}
+	if interval == 0 {
+		interval = probe.DefaultInterval
+	}
+	return probe.Config{Interval: interval}
+}
+
+// writeTrace writes the collected timelines as one Chrome trace-event file.
+func writeTrace(path string, timelines []*probe.Timeline) {
+	f, err := os.Create(path)
+	if err != nil {
+		fail("creating trace file: %v", err)
+	}
+	if err := probe.WriteChromeTrace(f, timelines); err != nil {
+		f.Close()
+		fail("writing trace: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		fail("closing trace: %v", err)
+	}
+	n := 0
+	for _, tl := range timelines {
+		if tl != nil {
+			n++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "dhtm-sim: trace for %d cell(s) written to %s (open in https://ui.perfetto.dev or chrome://tracing)\n", n, path)
+}
+
+// dumpMetrics writes the process-wide obs registry in Prometheus text
+// exposition format, mirroring dhtm-bench and dhtm-crashtest.
+func dumpMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default.WriteText(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 // runScenario compiles a sweep-mode scenario document and runs its plan
 // exactly as an inline -design/-workload sweep would, honouring the
 // document's result-store setting so interrupted campaigns stay resumable.
-func runScenario(path string, seed int64, parallel int, jsonOut bool) {
+func runScenario(path string, seed int64, parallel int, jsonOut bool, tc probe.Config, tracePath string) {
 	doc, err := scenario.Load(path)
 	if err != nil {
 		fail("%v", err)
@@ -175,7 +238,7 @@ func runScenario(path string, seed int64, parallel int, jsonOut bool) {
 		}
 		plan.Store = store
 	}
-	ok := runSweep(plan, seed, parallel, jsonOut)
+	ok := runSweep(plan, seed, parallel, jsonOut, tc, tracePath)
 	if store != nil {
 		m := store.Metrics()
 		fmt.Fprintf(os.Stderr, "dhtm-sim: store %s: %d hits (%d mem, %d disk), %d misses, %d simulated, %d written\n",
@@ -190,13 +253,24 @@ func runScenario(path string, seed int64, parallel int, jsonOut bool) {
 // runSweep executes a cell plan and reports per-cell results (the shared
 // tail of the comma-separated sweep mode and -scenario mode). It reports
 // whether every cell succeeded.
-func runSweep(plan runner.Plan, seed int64, parallel int, jsonOut bool) bool {
+func runSweep(plan runner.Plan, seed int64, parallel int, jsonOut bool, tc probe.Config, tracePath string) bool {
 	// Ctrl-C cancels the sweep; cells not yet started report ErrCancelled.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	rs, err := runner.Run(ctx, plan, harness.Execute, runner.Options{Parallel: parallel, Seed: seed})
+	rs, err := runner.Run(ctx, plan, harness.ExecuteWith(tc), runner.Options{Parallel: parallel, Seed: seed})
 	if err != nil {
 		fail("%v", err)
+	}
+	if tracePath != "" {
+		// Plan order keeps the trace's process layout deterministic; cache
+		// hits carry no timeline and are skipped.
+		var timelines []*probe.Timeline
+		for _, r := range rs.Results {
+			if r.Run.Timeline != nil {
+				timelines = append(timelines, r.Run.Timeline)
+			}
+		}
+		writeTrace(tracePath, timelines)
 	}
 
 	if jsonOut {
@@ -235,7 +309,7 @@ func runSweep(plan runner.Plan, seed int64, parallel int, jsonOut bool) bool {
 
 // runSingle preserves the original detailed single-run path, including crash
 // injection, image capture, recovery and workload verification.
-func runSingle(design, workload string, tx, cores int, seed int64, ov runner.Overrides, crash bool, image string, recoverAfter bool) {
+func runSingle(design, workload string, tx, cores int, seed int64, ov runner.Overrides, crash bool, image string, recoverAfter bool, tc probe.Config, tracePath string) {
 	cfg := config.Default()
 	if cores > 0 {
 		cfg.NumCores = cores
@@ -254,6 +328,13 @@ func runSingle(design, workload string, tx, cores int, seed int64, ov runner.Ove
 	if err != nil {
 		fail("%v", err)
 	}
+	if tc.Enabled() {
+		cell := runner.Cell{
+			ID: design + "/" + workload, Design: design, Workload: workload,
+			Cores: cfg.NumCores, TxPerCore: tx, Seed: seed,
+		}
+		env.Probe = harness.TraceRecorder(tc, env, rt, cell)
+	}
 
 	res, err := workloads.Run(env, rt, w, workloads.Params{Cores: cfg.NumCores, Seed: seed}, tx, !crash)
 	if err != nil {
@@ -262,6 +343,9 @@ func runSingle(design, workload string, tx, cores int, seed int64, ov runner.Ove
 	fmt.Printf("%s on %s: %d transactions committed in %d cycles (%.3f tx/Mcycle)\n",
 		rt.Name(), w.Name(), res.Committed, res.Cycles, res.Throughput())
 	fmt.Print(env.Stats.Summary())
+	if tracePath != "" {
+		writeTrace(tracePath, []*probe.Timeline{res.Timeline})
+	}
 
 	if crash {
 		env.Hier.Crash()

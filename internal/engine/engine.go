@@ -71,6 +71,9 @@ func (c *Clock) ahead() bool {
 // minimum-clock core the yield is a no-op compare and no switch happens.
 func (c *Clock) Advance(delta uint64) {
 	c.now += delta
+	if c.e.sampleAt != 0 {
+		c.e.maybeSample(c)
+	}
 	if c.ahead() {
 		return
 	}
@@ -82,6 +85,9 @@ func (c *Clock) Advance(delta uint64) {
 func (c *Clock) AdvanceTo(cycle uint64) {
 	if cycle > c.now {
 		c.now = cycle
+	}
+	if c.e.sampleAt != 0 {
+		c.e.maybeSample(c)
 	}
 	if c.ahead() {
 		return
@@ -131,6 +137,42 @@ type Engine struct {
 	stop    []func()
 	next    int // core the yielding coroutine handed control to
 	started bool
+
+	// sampleAt is the next simulated cycle at which sampler fires; 0 means no
+	// sampler is installed, which keeps the disabled cost of the probe plane
+	// to exactly one scalar compare per Advance/AdvanceTo.
+	sampleAt uint64
+	sampler  func(cycle uint64) uint64
+}
+
+// SetSampler installs a cycle-domain sampling callback: once global
+// simulated time reaches firstDue, fn is invoked with the scheduled cycle
+// and must return the next due cycle (strictly greater, or 0 to stop).
+// Samples fire on the running core's coroutine, after its clock update and
+// before any coroutine switch, so fn observes a machine whose global minimum
+// time has just crossed the scheduled stamp — the stamps it is handed are
+// monotonically nondecreasing regardless of per-event granularity. Passing
+// fn == nil (or firstDue == 0) removes the sampler.
+func (e *Engine) SetSampler(firstDue uint64, fn func(cycle uint64) uint64) {
+	if fn == nil {
+		firstDue = 0
+	}
+	e.sampleAt = firstDue
+	e.sampler = fn
+}
+
+// maybeSample fires the sampler for every scheduled stamp that global
+// simulated time — min(running core's clock, cached minimum of the others) —
+// has reached. Global time never decreases, so stamps are emitted in order;
+// the strictly-increasing return contract bounds the catch-up loop.
+func (e *Engine) maybeSample(c *Clock) {
+	gmin := c.now
+	if c.minOtherCore >= 0 && c.minOtherClock < gmin {
+		gmin = c.minOtherClock
+	}
+	for e.sampleAt != 0 && gmin >= e.sampleAt {
+		e.sampleAt = e.sampler(e.sampleAt)
+	}
 }
 
 // New creates an engine for n cores.

@@ -1,0 +1,79 @@
+package engine
+
+import "testing"
+
+// TestSamplerStampsMonotone runs unevenly advancing cores and checks the
+// sampler fires exactly on its scheduled grid, in nondecreasing order, and
+// never after being disarmed.
+func TestSamplerStampsMonotone(t *testing.T) {
+	e := New(3)
+	const interval = 10
+	var stamps []uint64
+	e.SetSampler(interval, func(cycle uint64) uint64 {
+		stamps = append(stamps, cycle)
+		if cycle >= 100 {
+			return 0 // disarm mid-run
+		}
+		return cycle + interval
+	})
+	e.Run(func(core int, c *Clock) {
+		for i := 0; i < 40; i++ {
+			c.Advance(uint64(1 + (core+i)%7))
+		}
+	})
+	if len(stamps) == 0 {
+		t.Fatal("sampler never fired")
+	}
+	for i, s := range stamps {
+		if s != uint64(interval*(i+1)) {
+			t.Fatalf("stamp %d = %d, want the scheduled grid value %d", i, s, interval*(i+1))
+		}
+	}
+	if last := stamps[len(stamps)-1]; last < 100 || last >= 110 {
+		t.Fatalf("sampler disarmed at %d, want first stamp >= 100", last)
+	}
+}
+
+// TestSamplerObservesGlobalMinimum checks a sample does not fire while some
+// other core's clock is still before the scheduled stamp: the stamp fires at
+// most once, when the global minimum crosses it.
+func TestSamplerObservesGlobalMinimum(t *testing.T) {
+	e := New(2)
+	fired := 0
+	e.SetSampler(50, func(cycle uint64) uint64 {
+		fired++
+		// Both cores advance in steps of 30 (core 0) and 40 (core 1); the
+		// global minimum crosses 50 when the slower walker passes it.
+		return 0
+	})
+	e.Run(func(core int, c *Clock) {
+		step := uint64(30 + 10*core)
+		for i := 0; i < 4; i++ {
+			c.Advance(step)
+		}
+	})
+	if fired != 1 {
+		t.Fatalf("sampler fired %d times, want exactly 1", fired)
+	}
+}
+
+// TestNoSamplerUnchanged pins that an engine without a sampler produces the
+// same final clocks as before the probe hook existed.
+func TestNoSamplerUnchanged(t *testing.T) {
+	run := func(e *Engine) []uint64 {
+		return e.Run(func(core int, c *Clock) {
+			for i := 0; i < 16; i++ {
+				c.Advance(uint64(1 + core))
+			}
+		})
+	}
+	plain := run(New(4))
+	sampled := New(4)
+	sampled.SetSampler(5, func(cycle uint64) uint64 { return cycle + 5 })
+	withProbe := run(sampled)
+	for i := range plain {
+		if plain[i] != withProbe[i] {
+			t.Fatalf("core %d: clocks diverge with sampler installed: %d vs %d", i, plain[i], withProbe[i])
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"dhtm/internal/config"
 	"dhtm/internal/obs"
+	"dhtm/internal/probe"
 	"dhtm/internal/registry"
 	"dhtm/internal/resultstore"
 	"dhtm/internal/runner"
@@ -58,6 +59,12 @@ func NewRuntime(env *txn.Env, design string) (txn.Runtime, error) {
 // safe to call from many goroutines at once: snapshot images are frozen, and
 // everything mutable is per-invocation.
 func Execute(cell runner.Cell) (workloads.RunResult, error) {
+	return execute(cell, probe.Config{})
+}
+
+// execute is Execute with an explicit trace config; ExecuteWith builds the
+// traced variant on top of it.
+func execute(cell runner.Cell, tc probe.Config) (workloads.RunResult, error) {
 	trace := &obs.CellTrace{}
 	cfg := config.Default()
 	if cell.Cores > 0 {
@@ -81,6 +88,9 @@ func Execute(cell runner.Cell) (workloads.RunResult, error) {
 	trace.Add(obs.PhaseClone, time.Since(start))
 	if err != nil {
 		return workloads.RunResult{}, err
+	}
+	if tc.Enabled() {
+		env.Probe = TraceRecorder(tc, env, rt, cell)
 	}
 	txPerCore := cell.TxPerCore
 	if txPerCore <= 0 {
@@ -111,6 +121,10 @@ type Options struct {
 	// read through the content-addressed result store instead of
 	// re-simulating (see runner.Plan.Store).
 	Store *resultstore.Store
+	// Trace enables cycle-domain probing for every cell of the grid (see
+	// probe.Config); computed cells carry their Timeline in the result set,
+	// cache hits never do. The zero value keeps tracing off.
+	Trace probe.Config
 }
 
 // runnerOptions translates experiment options into sweep options.
@@ -257,7 +271,7 @@ func (e Experiment) Run(ctx context.Context, o Options) (*Table, error) {
 func (e Experiment) RunGrid(ctx context.Context, o Options) (*runner.ResultSet, error) {
 	plan := e.Plan(o)
 	plan.Store = o.Store
-	rs, err := runner.Run(ctx, plan, Execute, o.runnerOptions())
+	rs, err := runner.Run(ctx, plan, ExecuteWith(o.Trace), o.runnerOptions())
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", e.ID, err)
 	}

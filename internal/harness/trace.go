@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"dhtm/internal/probe"
+	"dhtm/internal/runner"
+	"dhtm/internal/txn"
+	"dhtm/internal/workloads"
+)
+
+// TraceRecorder builds a cell's cycle-domain recorder with the full probe
+// catalog wired in: transaction outcomes (stats), WAL occupancy (wal),
+// persist-queue depth and traffic classes (memdev), cache counters (hier),
+// and whatever design-specific signals the runtime contributes through
+// probe.Registrar (DHTM's log buffer, the baselines' overflow sets).
+//
+// The registration order here is fixed — it determines the signal order of
+// the exported timeline, which the golden tests pin.
+func TraceRecorder(tc probe.Config, env *txn.Env, rt txn.Runtime, cell runner.Cell) *probe.Recorder {
+	rec := probe.NewRecorder(tc)
+	rec.SetMeta(cell.ID, rt.Name(), cell.Workload, cell.Seed)
+	env.Stats.RegisterProbes(rec)
+	env.Registry.RegisterProbes(rec)
+	env.Ctl.RegisterProbes(rec)
+	env.Hier.RegisterProbes(rec)
+	if reg, ok := rt.(probe.Registrar); ok {
+		reg.RegisterProbes(rec)
+	}
+	return rec
+}
+
+// ExecuteWith returns a cell-runner callback like Execute but with per-cell
+// tracing at the given config. A disabled config returns Execute itself, so
+// grids without tracing run the exact code path they always did.
+func ExecuteWith(tc probe.Config) runner.ExecFunc {
+	if !tc.Enabled() {
+		return Execute
+	}
+	return func(cell runner.Cell) (workloads.RunResult, error) {
+		return execute(cell, tc)
+	}
+}

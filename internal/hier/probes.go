@@ -1,0 +1,28 @@
+package hier
+
+import (
+	"dhtm/internal/probe"
+	"dhtm/internal/stats"
+)
+
+// RegisterProbes contributes the cache-hierarchy signals to a cell
+// recorder: cumulative L1 and LLC hit/miss counters summed over cores, from
+// which viewers derive time-resolved miss rates per probe interval.
+func (h *Hierarchy) RegisterProbes(rec *probe.Recorder) {
+	if h.st == nil {
+		return
+	}
+	sum := func(f func(*stats.CoreStats) uint64) probe.SampleFunc {
+		return func(uint64) float64 {
+			var t uint64
+			for i := range h.st.Cores {
+				t += f(&h.st.Cores[i])
+			}
+			return float64(t)
+		}
+	}
+	rec.Counter("cache/l1_hits", "accesses", "internal/hier", sum(func(c *stats.CoreStats) uint64 { return c.L1Hits }))
+	rec.Counter("cache/l1_misses", "accesses", "internal/hier", sum(func(c *stats.CoreStats) uint64 { return c.L1Misses }))
+	rec.Counter("cache/llc_hits", "accesses", "internal/hier", sum(func(c *stats.CoreStats) uint64 { return c.LLCHits }))
+	rec.Counter("cache/llc_misses", "accesses", "internal/hier", sum(func(c *stats.CoreStats) uint64 { return c.LLCMisses }))
+}

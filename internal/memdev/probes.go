@@ -1,0 +1,29 @@
+package memdev
+
+import "dhtm/internal/probe"
+
+// RegisterProbes contributes the memory-controller signals to a cell
+// recorder: the persist-queue backlog (how many cycles past the sample
+// stamp the single channel is already booked — the time-resolved form of
+// the paper's bandwidth sensitivity) and the cumulative traffic split by
+// cause, log bytes versus in-place data writes versus line fills.
+func (c *Controller) RegisterProbes(rec *probe.Recorder) {
+	rec.Gauge("mem/persist_queue_depth", "cycles", "internal/memdev", func(cycle uint64) float64 {
+		if c.channelFreeAt > cycle {
+			return float64(c.channelFreeAt - cycle)
+		}
+		return 0
+	})
+	if c.st == nil {
+		return
+	}
+	rec.Counter("mem/log_bytes", "bytes", "internal/memdev", func(uint64) float64 {
+		return float64(c.st.LogBytes)
+	})
+	rec.Counter("mem/data_write_bytes", "bytes", "internal/memdev", func(uint64) float64 {
+		return float64(c.st.DataWriteBytes)
+	})
+	rec.Counter("mem/data_read_bytes", "bytes", "internal/memdev", func(uint64) float64 {
+		return float64(c.st.DataReadBytes)
+	})
+}

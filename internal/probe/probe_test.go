@@ -1,0 +1,191 @@
+package probe
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestSampleSchedule(t *testing.T) {
+	r := NewRecorder(Config{Interval: 100, MaxSamples: 16})
+	var level float64
+	r.Gauge("q/depth", "entries", "test", func(uint64) float64 { return level })
+	r.Start()
+	if got := r.NextDue(); got != 100 {
+		t.Fatalf("NextDue after Start = %d, want 100", got)
+	}
+	level = 3
+	if next := r.Sample(100); next != 200 {
+		t.Fatalf("Sample(100) scheduled next %d, want 200", next)
+	}
+	level = 7
+	if next := r.Sample(200); next != 300 {
+		t.Fatalf("Sample(200) scheduled next %d, want 300", next)
+	}
+	r.Finish(250)
+	tl := r.Timeline()
+	wantCycles := []uint64{0, 100, 200, 250}
+	if len(tl.Cycles) != len(wantCycles) {
+		t.Fatalf("cycles = %v, want %v", tl.Cycles, wantCycles)
+	}
+	for i, c := range wantCycles {
+		if tl.Cycles[i] != c {
+			t.Fatalf("cycles = %v, want %v", tl.Cycles, wantCycles)
+		}
+	}
+	wantVals := []float64{0, 3, 7, 7}
+	for i, v := range wantVals {
+		if tl.Signals[0].Values[i] != v {
+			t.Fatalf("values = %v, want %v", tl.Signals[0].Values, wantVals)
+		}
+	}
+}
+
+func TestFinishAtStampIsNoop(t *testing.T) {
+	r := NewRecorder(Config{Interval: 50, MaxSamples: 8})
+	r.Gauge("g", "u", "test", func(uint64) float64 { return 1 })
+	r.Start()
+	r.Sample(50)
+	r.Finish(50)
+	if r.Rows() != 2 {
+		t.Fatalf("rows = %d, want 2 (Finish at the last stamp must not add a row)", r.Rows())
+	}
+}
+
+func TestDecimation(t *testing.T) {
+	r := NewRecorder(Config{Interval: 10, MaxSamples: 4})
+	r.Counter("c", "ops", "test", func(cycle uint64) float64 { return float64(cycle) })
+	r.Start()
+	next := r.NextDue()
+	for next <= 100 {
+		next = r.Sample(next)
+	}
+	if r.Rows() > 4 {
+		t.Fatalf("rows = %d, want <= cap 4", r.Rows())
+	}
+	tl := r.Timeline()
+	if tl.Stride <= tl.Interval {
+		t.Fatalf("stride %d did not grow beyond interval %d after decimation", tl.Stride, tl.Interval)
+	}
+	if tl.Cycles[0] != 0 {
+		t.Fatalf("decimation dropped the cycle-0 row: %v", tl.Cycles)
+	}
+	for i := 1; i < len(tl.Cycles); i++ {
+		if tl.Cycles[i] <= tl.Cycles[i-1] {
+			t.Fatalf("cycle stamps not increasing after decimation: %v", tl.Cycles)
+		}
+	}
+	// Counter columns stay aligned with their stamps through decimation.
+	for i, c := range tl.Cycles {
+		if tl.Signals[0].Values[i] != float64(c) {
+			t.Fatalf("row %d: value %v does not match stamp %d", i, tl.Signals[0].Values[i], c)
+		}
+	}
+}
+
+func TestSampleDoesNotAllocate(t *testing.T) {
+	r := NewRecorder(Config{Interval: 8, MaxSamples: 64})
+	for i := 0; i < 8; i++ {
+		r.Gauge("g", "u", "test", func(cycle uint64) float64 { return float64(cycle) })
+	}
+	r.Start()
+	next := r.NextDue()
+	allocs := testing.AllocsPerRun(1000, func() {
+		next = r.Sample(next)
+	})
+	if allocs != 0 {
+		t.Fatalf("Sample allocated %v allocs/op, want 0 (includes in-place decimation)", allocs)
+	}
+}
+
+func TestChromeTrace(t *testing.T) {
+	r := NewRecorder(Config{Interval: 100, MaxSamples: 16})
+	r.SetMeta("DHTM/hash", "DHTM", "hash", 42)
+	total := 0.0
+	r.Counter("mem/log_bytes", "bytes", "internal/memdev", func(uint64) float64 { return total })
+	r.Start()
+	total = 64
+	r.Sample(100)
+	total = 96
+	r.Sample(200)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []*Timeline{r.Timeline(), nil}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   uint64         `json:"ts"`
+			PID  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("got %d events, want 4 (1 metadata + 3 counter rows)", len(doc.TraceEvents))
+	}
+	meta := doc.TraceEvents[0]
+	if meta.Ph != "M" || meta.Name != "process_name" || meta.Args["name"] != "DHTM/hash" {
+		t.Fatalf("bad metadata event: %+v", meta)
+	}
+	// Counters export per-row deltas: 0, 64, 32.
+	wantDeltas := []float64{0, 64, 32}
+	wantTS := []uint64{0, 100, 200}
+	for i, ev := range doc.TraceEvents[1:] {
+		if ev.Ph != "C" || ev.Name != "mem/log_bytes" {
+			t.Fatalf("event %d: %+v", i, ev)
+		}
+		if ev.TS != wantTS[i] || ev.Args["value"] != wantDeltas[i] {
+			t.Fatalf("event %d: ts=%d value=%v, want ts=%d value=%v",
+				i, ev.TS, ev.Args["value"], wantTS[i], wantDeltas[i])
+		}
+	}
+}
+
+func TestTimelineDeterminism(t *testing.T) {
+	build := func() []byte {
+		r := NewRecorder(Config{Interval: 10, MaxSamples: 8})
+		r.SetMeta("c", "d", "w", 1)
+		r.Gauge("g", "u", "test", func(cycle uint64) float64 { return float64(cycle % 7) })
+		r.Start()
+		next := r.NextDue()
+		for next <= 200 {
+			next = r.Sample(next)
+		}
+		r.Finish(205)
+		var buf bytes.Buffer
+		if err := WriteChromeTrace(&buf, []*Timeline{r.Timeline()}); err != nil {
+			t.Fatal(err)
+		}
+		tj, err := json.Marshal(r.Timeline())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append(tj, buf.Bytes()...)
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identical recordings exported different bytes")
+	}
+}
+
+// BenchmarkProbeSample pins the recording hot path at 0 allocs/op: one row
+// across a realistic signal count, including the amortized in-place
+// decimation.
+func BenchmarkProbeSample(b *testing.B) {
+	r := NewRecorder(Config{Interval: 1, MaxSamples: 4096})
+	for i := 0; i < 16; i++ {
+		r.Gauge("g", "u", "bench", func(cycle uint64) float64 { return float64(cycle) })
+	}
+	r.Start()
+	next := r.NextDue()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		next = r.Sample(next)
+	}
+}

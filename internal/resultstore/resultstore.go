@@ -270,8 +270,10 @@ func (s *Store) GetOrCompute(k Key, compute func() (workloads.RunResult, error))
 			return workloads.RunResult{}, false, c.err
 		}
 		shared := detach(c.res)
-		// The leader's phase trace describes its execution, not this caller's.
+		// The leader's phase trace and probe timeline describe its execution,
+		// not this caller's.
 		shared.Phases = nil
+		shared.Timeline = nil
 		return shared, true, nil
 	}
 	c := &call{done: make(chan struct{})}
@@ -407,9 +409,11 @@ func (s *Store) memPut(h string, res workloads.RunResult) {
 	if s.lru == nil {
 		return
 	}
-	// Phase traces describe one concrete execution; a cached copy answers
-	// later lookups that did no such work, so it must not carry one.
+	// Phase traces and probe timelines describe one concrete execution; a
+	// cached copy answers later lookups that did no such work, so it must
+	// not carry either.
 	res.Phases = nil
+	res.Timeline = nil
 	s.mu.Lock()
 	s.lru.put(h, res)
 	s.mu.Unlock()

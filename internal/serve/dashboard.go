@@ -49,6 +49,8 @@ const dashboardHTML = `<!doctype html>
   <tbody id="jobs"><tr><td colspan="11" class="muted">loading…</td></tr></tbody>
 </table>
 
+<div id="detail"></div>
+
 <script>
 "use strict";
 const streams = new Map(); // job id -> EventSource
@@ -100,7 +102,8 @@ function render() {
         : '<span class="muted">–</span>';
       return "<tr>" +
         '<td><a href="/api/v1/jobs/' + j.id + '">' + j.id + "</a>" +
-          (j.state === "done" ? ' <a href="/api/v1/jobs/' + j.id + '/tables?meta=1">tables</a>' : "") + "</td>" +
+          (j.state === "done" ? ' <a href="/api/v1/jobs/' + j.id + '/tables?meta=1">tables</a>' +
+            ' <a href="#detail" onclick="showTraces(\'' + j.id + '\')">traces</a>' : "") + "</td>" +
         "<td>" + j.kind + "</td>" +
         '<td class="state-' + j.state + '">' + j.state +
           (j.error ? ' <span class="muted" title="' + j.error.replaceAll('"', "&quot;") + '">⚠</span>' : "") + "</td>" +
@@ -133,6 +136,63 @@ function render() {
       "<div><b>" + sn.clones + "</b>COW clones</div>" +
       (store.dir ? "<div><b>" + store.dir + "</b>store dir</div>" : "<div><b>memory</b>store</div>");
   }
+}
+
+// spark renders one signal as an inline SVG sparkline, x-scaled by cycle
+// stamp so decimated (doubled-stride) tails keep their true spacing.
+function spark(cycles, values) {
+  const W = 220, H = 24;
+  if (!values.length) return "";
+  let max = Math.max(...values), min = Math.min(...values);
+  if (max === min) max = min + 1;
+  const cmax = cycles[cycles.length - 1] || 1;
+  const pts = values.map((v, i) =>
+    (W * cycles[i] / cmax).toFixed(1) + "," +
+    (H - 1 - (H - 2) * (v - min) / (max - min)).toFixed(1)).join(" ");
+  return '<svg width="' + W + '" height="' + H + '" style="vertical-align:middle">' +
+    '<polyline fill="none" stroke="#06c" stroke-width="1" points="' + pts + '"/></svg>';
+}
+
+// showTraces renders the per-signal sparklines of a job's traced cells, or
+// a clear "no trace recorded" state when the job has none (tracing off, or
+// every cell answered from the result store).
+async function showTraces(id) {
+  const el = document.getElementById("detail");
+  const head = '<h2 style="font-size:1rem">Cell traces · ' + id + '</h2>';
+  el.innerHTML = head + '<p class="muted">loading…</p>';
+  let st;
+  try {
+    st = await (await fetch("/api/v1/jobs/" + id)).json();
+  } catch (e) {
+    el.innerHTML = head + '<p class="muted">failed to load job</p>';
+    return;
+  }
+  const keys = st.traces || [];
+  if (!keys.length) {
+    el.innerHTML = head + '<p class="muted">no trace recorded — the server runs without ' +
+      "-trace-interval, or every cell of this job was a result-store cache hit.</p>";
+    return;
+  }
+  let html = head;
+  for (const key of keys.slice(0, 8)) {
+    const url = "/api/v1/jobs/" + id + "/cells/" + encodeURIComponent(key) + "/trace";
+    let tl;
+    try {
+      tl = await (await fetch(url + "?format=timeline")).json();
+    } catch (e) { continue; }
+    html += '<h3 style="font-size:.95rem">' + key +
+      ' <small class="muted">stride ' + tl.stride + ' cycles · <a href="' + url + '">perfetto json</a>' +
+      ' · <a href="' + url + '?format=timeline">timeline</a></small></h3>';
+    html += "<table><tbody>" + tl.signals.map(s =>
+      "<tr><td>" + s.name + '</td><td class="muted">' + s.unit + "</td>" +
+      "<td>" + spark(tl.cycles, s.values) + "</td>" +
+      '<td class="num">' + s.values[s.values.length - 1] + "</td></tr>").join("") +
+      "</tbody></table>";
+  }
+  if (keys.length > 8) {
+    html += '<p class="muted">' + (keys.length - 8) + " more traced cells in /api/v1/jobs/" + id + " → traces</p>";
+  }
+  el.innerHTML = html;
 }
 
 async function refresh() {

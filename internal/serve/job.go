@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"dhtm/internal/crashtest"
 	"dhtm/internal/harness"
 	"dhtm/internal/obs"
+	"dhtm/internal/probe"
 	"dhtm/internal/registry"
 	"dhtm/internal/runner"
 	"dhtm/internal/scenario"
@@ -259,6 +261,11 @@ type Job struct {
 	experiments []ExperimentOutcome
 	sweep       []CellOutcome
 	crashtests  []*crashtest.Report
+
+	// traces holds the cycle-domain probe recordings of the job's simulated
+	// cells (present only when the server runs with tracing on; cache hits
+	// carry none), capped at maxJobTraces per job.
+	traces map[string]*probe.Timeline
 }
 
 // Status is the polling view of a job (GET /api/v1/jobs/{id}). The JSON
@@ -288,6 +295,11 @@ type Status struct {
 	Experiments []ExperimentOutcome `json:"experiments,omitempty"`
 	Sweep       []CellOutcome       `json:"sweep,omitempty"`
 	Crashtests  []*crashtest.Report `json:"crashtests,omitempty"`
+
+	// Traces lists the cell keys with a recorded probe timeline, each served
+	// by GET /api/v1/jobs/{id}/cells/{key}/trace. Empty when the server runs
+	// without tracing or every cell was a cache hit.
+	Traces []string `json:"traces,omitempty"`
 }
 
 // status snapshots the job under its lock, results included.
@@ -300,8 +312,27 @@ func (j *Job) status() Status {
 	st.Experiments = append([]ExperimentOutcome(nil), j.experiments...)
 	st.Sweep = append([]CellOutcome(nil), j.sweep...)
 	st.Crashtests = append([]*crashtest.Report(nil), j.crashtests...)
+	if len(j.traces) > 0 {
+		st.Traces = make([]string, 0, len(j.traces))
+		for key := range j.traces {
+			st.Traces = append(st.Traces, key)
+		}
+		sort.Strings(st.Traces)
+	}
 	return st
 }
+
+// trace returns the probe timeline recorded for one cell, or nil.
+func (j *Job) trace(key string) *probe.Timeline {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.traces[key]
+}
+
+// maxJobTraces caps the probe timelines retained per job: a full-suite
+// campaign has hundreds of cells and each timeline is tens of kilobytes, so
+// the job keeps the first arrivals and the status lists exactly which.
+const maxJobTraces = 64
 
 // summary is the listing view: lifecycle and counters only, no result
 // payloads — a job list stays constant-size per job no matter how many
@@ -415,6 +446,12 @@ func (j *Job) cellDone(experiment string, ev runner.ProgressEvent) {
 		j.cells.Failed++
 	}
 	ev.Result.Run.Phases.Each(func(p obs.Phase, d time.Duration) { j.phases.Add(p, d) })
+	if tl := ev.Result.Run.Timeline; tl != nil && len(j.traces) < maxJobTraces {
+		if j.traces == nil {
+			j.traces = make(map[string]*probe.Timeline)
+		}
+		j.traces[ev.Result.Cell.ID] = tl
+	}
 	done, total := j.cells.Done, j.cells.Total
 	j.mu.Unlock()
 	cellErr := ""

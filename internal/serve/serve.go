@@ -41,6 +41,7 @@ import (
 	"dhtm/internal/crashtest"
 	"dhtm/internal/harness"
 	"dhtm/internal/obs"
+	"dhtm/internal/probe"
 	"dhtm/internal/registry"
 	"dhtm/internal/resultstore"
 	"dhtm/internal/runner"
@@ -75,6 +76,11 @@ type Config struct {
 	// default: profiling endpoints expose heap contents and should be
 	// opted into on trusted listeners only.
 	Pprof bool
+	// TraceInterval, when > 0, records cycle-domain probes for every cell
+	// the server actually simulates, sampling every TraceInterval simulated
+	// cycles. Traces are served per cell from
+	// GET /api/v1/jobs/{id}/cells/{key}/trace; cache hits carry none.
+	TraceInterval uint64
 }
 
 // serveMetrics bundles the server's registry handles. All methods are
@@ -225,6 +231,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /api/v1/jobs/{id}/tables", s.handleTables)
+	mux.HandleFunc("GET /api/v1/jobs/{id}/cells/{key}/trace", s.handleTrace)
 	if s.cfg.Pprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -505,6 +512,12 @@ func (s *Server) parallel(requested int) int {
 	return p
 }
 
+// traceConfig is the per-cell probe config the server's jobs run with;
+// disabled unless Config.TraceInterval asked for tracing.
+func (s *Server) traceConfig() probe.Config {
+	return probe.Config{Interval: s.cfg.TraceInterval}
+}
+
 // runExperiments executes the selected harness experiments sequentially
 // (their cells fan out in parallel) so tables stream out as they finish.
 func (s *Server) runExperiments(job *Job) error {
@@ -512,7 +525,7 @@ func (s *Server) runExperiments(job *Job) error {
 	opts := harness.Options{
 		Quick: job.spec.Quick, TxPerCore: job.spec.TxPerCore, Cores: job.spec.Cores,
 		Seed: job.spec.Seed, Parallel: s.parallel(job.spec.Parallel),
-		Store: s.cfg.Store,
+		Store: s.cfg.Store, Trace: s.traceConfig(),
 	}
 
 	// Pre-size the cell counter so progress fractions are stable from the
@@ -566,7 +579,7 @@ func (s *Server) runSweep(job *Job) error {
 	job.cells.Total = len(plan.Cells)
 	job.mu.Unlock()
 
-	rs, err := runner.Run(job.ctx, plan, harness.Execute, runner.Options{
+	rs, err := runner.Run(job.ctx, plan, harness.ExecuteWith(s.traceConfig()), runner.Options{
 		Parallel: s.parallel(job.spec.Parallel),
 		Seed:     job.spec.Seed,
 		Progress: func(ev runner.ProgressEvent) { job.cellDone(plan.Name, ev) },
@@ -785,6 +798,33 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("meta") != "" {
 		writeTablesMeta(w, st)
 	}
+}
+
+// handleTrace serves one cell's cycle-domain probe recording. The default
+// body is Chrome trace-event / Perfetto JSON (load it at
+// https://ui.perfetto.dev); ?format=timeline returns the compact versioned
+// timeline instead. Cell keys containing "/" are addressed with %2F (the
+// route's {key} matches a single path segment). A 404 names the reasons a
+// trace can be missing — the dashboard shows that state verbatim.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job := s.lookup(w, r)
+	if job == nil {
+		return
+	}
+	key := r.PathValue("key")
+	tl := job.trace(key)
+	if tl == nil {
+		writeError(w, http.StatusNotFound,
+			"no trace recorded for cell %q of job %s (tracing disabled, cell answered from the result store, or trace evicted)",
+			key, job.ID)
+		return
+	}
+	if r.URL.Query().Get("format") == "timeline" {
+		writeJSON(w, http.StatusOK, tl)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	probe.WriteChromeTrace(w, []*probe.Timeline{tl})
 }
 
 // writeTablesMeta renders the ?meta=1 footer of /tables: job lifecycle

@@ -1,0 +1,24 @@
+package stats
+
+import "dhtm/internal/probe"
+
+// RegisterProbes contributes the transaction-outcome signals to a cell
+// recorder: cumulative commit/abort/fallback totals, read/write-set line
+// totals, and the running abort rate (aborts over attempts) as a gauge.
+func (s *Stats) RegisterProbes(rec *probe.Recorder) {
+	sum := func(f func(*CoreStats) uint64) probe.SampleFunc {
+		return func(uint64) float64 {
+			var t uint64
+			for i := range s.Cores {
+				t += f(&s.Cores[i])
+			}
+			return float64(t)
+		}
+	}
+	rec.Counter("htm/commits", "transactions", "internal/stats", sum(func(c *CoreStats) uint64 { return c.Commits }))
+	rec.Counter("htm/aborts", "transactions", "internal/stats", sum(func(c *CoreStats) uint64 { return c.Aborts }))
+	rec.Counter("htm/fallbacks", "transactions", "internal/stats", sum(func(c *CoreStats) uint64 { return c.Fallbacks }))
+	rec.Counter("htm/write_set_lines", "lines", "internal/stats", sum(func(c *CoreStats) uint64 { return c.WriteSetLines }))
+	rec.Counter("htm/read_set_lines", "lines", "internal/stats", sum(func(c *CoreStats) uint64 { return c.ReadSetLines }))
+	rec.Gauge("htm/abort_rate", "fraction", "internal/stats", func(uint64) float64 { return s.AbortRate() })
+}

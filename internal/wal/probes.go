@@ -1,0 +1,39 @@
+package wal
+
+import "dhtm/internal/probe"
+
+// RegisterProbes contributes the durable-log signals to a cell recorder:
+// the live window of the per-thread circular logs (the quantity DHTM's
+// eager truncation keeps small and LogTM-ATOM lets grow) and the overflow
+// side lists. All three are gauges sampled on the probe grid.
+func (r *Registry) RegisterProbes(rec *probe.Recorder) {
+	rec.Gauge("wal/live_words", "words", "internal/wal", func(uint64) float64 {
+		total := 0
+		for _, l := range r.logs {
+			total += l.used()
+		}
+		return float64(total)
+	})
+	rec.Gauge("wal/occupancy_max", "fraction", "internal/wal", func(uint64) float64 {
+		worst := 0.0
+		for _, l := range r.logs {
+			if l.SizeWords <= 1 {
+				continue
+			}
+			// A circular log keeps one word free, so the usable capacity is
+			// SizeWords-1.
+			f := float64(l.used()) / float64(l.SizeWords-1)
+			if f > worst {
+				worst = f
+			}
+		}
+		return worst
+	})
+	rec.Gauge("wal/overflow_entries", "entries", "internal/wal", func(uint64) float64 {
+		total := 0
+		for _, ol := range r.lists {
+			total += ol.Count()
+		}
+		return float64(total)
+	})
+}

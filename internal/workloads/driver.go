@@ -7,6 +7,7 @@ import (
 	"dhtm/internal/engine"
 	"dhtm/internal/obs"
 	"dhtm/internal/palloc"
+	"dhtm/internal/probe"
 	"dhtm/internal/stats"
 	"dhtm/internal/txn"
 )
@@ -31,6 +32,11 @@ type RunResult struct {
 	// concrete execution, not the result's semantics, so it is excluded from
 	// the on-disk record format and never set on cache hits.
 	Phases *obs.CellTrace `json:"-"`
+	// Timeline is the cycle-domain probe recording of the run, present only
+	// when the cell executed with tracing enabled. Like Phases it describes
+	// one concrete execution, so it is excluded from the on-disk record
+	// format and never set on cache hits.
+	Timeline *probe.Timeline `json:"-"`
 }
 
 // Throughput returns committed transactions per million cycles.
@@ -90,6 +96,14 @@ func RunPrepared(env *txn.Env, rt txn.Runtime, w Workload, p Params, txPerCore i
 	}
 
 	eng := engine.New(env.Cfg.NumCores)
+	if rec := env.Probe; rec != nil {
+		// Arm the cycle-domain probe plane: record the cycle-0 row now and
+		// let the engine fire the schedule. Sampling is pure observation — it
+		// never advances clocks or touches simulator state — so traced and
+		// untraced runs of the same seed are bit-identical.
+		rec.Start()
+		eng.SetSampler(rec.NextDue(), rec.Sample)
+	}
 	eng.Run(func(core int, c *engine.Clock) {
 		rng := rand.New(rand.NewSource(p.Seed + int64(core)*7919))
 		for i := 0; i < txPerCore; i++ {
@@ -115,6 +129,10 @@ func RunPrepared(env *txn.Env, rt txn.Runtime, w Workload, p Params, txPerCore i
 		Stats:     env.Stats,
 		Committed: env.Stats.TotalCommits(),
 		Cycles:    env.Stats.TotalCycles(),
+	}
+	if rec := env.Probe; rec != nil {
+		rec.Finish(res.Cycles)
+		res.Timeline = rec.Timeline()
 	}
 	return res, nil
 }
