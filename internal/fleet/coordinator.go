@@ -1,0 +1,806 @@
+package fleet
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"dhtm/internal/crashtest"
+	"dhtm/internal/obs"
+	"dhtm/internal/resultstore"
+	"dhtm/internal/runner"
+	"dhtm/internal/workloads"
+)
+
+// CoordinatorConfig assembles a coordinator.
+type CoordinatorConfig struct {
+	// Store is the fleet's shared result store: campaigns pre-answer from it,
+	// workers write through it (over PathRecords), and completions are read
+	// back out of it. Required.
+	Store *resultstore.Store
+	// BatchSize caps cells per leased batch (<= 0 means 8). Crashtest tasks
+	// always lease one per batch — each config is itself a parallel
+	// exploration.
+	BatchSize int
+	// LeaseTTL is the batch deadline; an incomplete batch requeues after it
+	// (<= 0 means 60s).
+	LeaseTTL time.Duration
+	// Heartbeat is the interval workers are told to beat at; a worker silent
+	// for three intervals is declared dead and its batches are stolen
+	// (<= 0 means 5s).
+	Heartbeat time.Duration
+	// MaxRetries bounds how many times one task may be requeued before it is
+	// failed outright (<= 0 means 8).
+	MaxRetries int
+	// Registry receives the dhtm_fleet_* metric families. Nil means
+	// obs.Default.
+	Registry *obs.Registry
+	// Logger receives dispatch lifecycle logs. Nil disables logging.
+	Logger *slog.Logger
+}
+
+// fleetMetrics bundles the coordinator's registry handles.
+type fleetMetrics struct {
+	reg        *obs.Registry
+	workers    *obs.Gauge
+	queueDepth *obs.Gauge
+	leases     *obs.Gauge
+	batches    *obs.Counter
+	tasksDone  *obs.Counter
+	tasksFail  *obs.Counter
+}
+
+func newFleetMetrics(reg *obs.Registry) *fleetMetrics {
+	return &fleetMetrics{
+		reg: reg,
+		workers: reg.Gauge("dhtm_fleet_workers",
+			"Workers currently registered with the coordinator."),
+		queueDepth: reg.Gauge("dhtm_fleet_queue_depth",
+			"Tasks waiting to be leased to a worker."),
+		leases: reg.Gauge("dhtm_fleet_leases",
+			"Batches currently leased out to workers."),
+		batches: reg.Counter("dhtm_fleet_batches_dispatched_total",
+			"Batches leased to workers, including re-dispatches of stolen work."),
+		tasksDone: reg.Counter("dhtm_fleet_tasks_total",
+			"Fleet tasks settled, by outcome.", obs.L("status", "done")),
+		tasksFail: reg.Counter("dhtm_fleet_tasks_total",
+			"Fleet tasks settled, by outcome.", obs.L("status", "failed")),
+	}
+}
+
+// requeues labels the steal/retry counter by why the work came back.
+// Registration is idempotent, so looking the series up per event is cheap.
+func (m *fleetMetrics) requeues(reason string) *obs.Counter {
+	return m.reg.Counter("dhtm_fleet_requeues_total",
+		"Tasks put back on the queue, by reason (lease_expired and worker_dead are steals).",
+		obs.L("reason", reason))
+}
+
+// workerCells is the per-worker throughput counter.
+func (m *fleetMetrics) workerCells(name string) *obs.Counter {
+	return m.reg.Counter("dhtm_fleet_worker_cells_total",
+		"Sweep cells completed, by worker.", obs.L("worker", name))
+}
+
+// task is one dedupe unit of fleet work. Tasks are keyed by content — the
+// store key for cells, the config document for crashtests — so concurrent
+// campaigns naming the same work share one task, and a retried batch never
+// creates a second copy. All fields are guarded by the coordinator's mu.
+type task struct {
+	id    string
+	kind  string
+	cell  runner.Cell // transport cell: ID == task ID, seed filled
+	crash *crashtest.Config
+	key   resultstore.Key // cell tasks: the store key completions read
+
+	queued  bool   // on the dispatch queue
+	batch   string // leased batch ID, "" when not leased
+	retries int
+	waiters int // campaigns holding a subscription
+
+	done   bool
+	run    workloads.RunResult
+	report *crashtest.Report
+	err    error
+	notify []chan struct{} // cap-1 campaign wakeups, poked on completion
+}
+
+// lease is one outstanding batch.
+type lease struct {
+	id      string
+	worker  string
+	tasks   []*task
+	expires time.Time
+}
+
+// workerState is the coordinator's view of one registered worker.
+type workerState struct {
+	id       string
+	name     string
+	parallel int
+	lastSeen time.Time
+	cells    uint64
+	batches  int
+}
+
+// Coordinator owns the fleet: worker registry, task queue, leases, and the
+// shared result store. Create with NewCoordinator, expose with Handler,
+// dispatch with RunPlan / Explore, and Close on shutdown.
+type Coordinator struct {
+	cfg     CoordinatorConfig
+	log     *slog.Logger
+	metrics *fleetMetrics
+
+	mu          sync.Mutex
+	workers     map[string]*workerState
+	tasks       map[string]*task
+	queue       []*task // front = next to lease
+	leases      map[string]*lease
+	nextWorker  int
+	nextBatch   int
+	tasksDone   uint64
+	tasksFailed uint64
+	requeued    uint64
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	stopped  chan struct{}
+}
+
+// NewCoordinator returns a running coordinator (its liveness reaper starts
+// immediately). Call Close to stop it.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("fleet: CoordinatorConfig.Store is required")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 8
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 60 * time.Second
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 5 * time.Second
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 8
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		metrics: newFleetMetrics(cfg.Registry),
+		workers: make(map[string]*workerState),
+		tasks:   make(map[string]*task),
+		leases:  make(map[string]*lease),
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	go c.reap()
+	return c, nil
+}
+
+// Close stops the reaper. Campaigns blocked in RunPlan/Explore are not
+// interrupted — cancel their contexts to release them.
+func (c *Coordinator) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.stopped
+}
+
+// Store exposes the fleet's shared result store.
+func (c *Coordinator) Store() *resultstore.Store { return c.cfg.Store }
+
+// reapInterval picks the liveness sweep cadence: fine enough to notice an
+// expired lease or dead worker promptly at test-scale TTLs, coarse enough to
+// stay silent at production ones.
+func (c *Coordinator) reapInterval() time.Duration {
+	d := c.cfg.LeaseTTL
+	if hb := 3 * c.cfg.Heartbeat; hb < d {
+		d = hb
+	}
+	d /= 4
+	if d < 10*time.Millisecond {
+		d = 10 * time.Millisecond
+	}
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d
+}
+
+// reap is the liveness loop: it requeues batches whose lease expired and
+// steals everything leased to workers whose heartbeats stopped.
+func (c *Coordinator) reap() {
+	defer close(c.stopped)
+	t := time.NewTicker(c.reapInterval())
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case now := <-t.C:
+			c.mu.Lock()
+			for id, l := range c.leases {
+				if now.After(l.expires) {
+					c.log.Info("fleet lease expired", "batch", id, "worker", l.worker)
+					c.dropLeaseLocked(l, "lease_expired")
+				}
+			}
+			deadAfter := 3 * c.cfg.Heartbeat
+			for id, w := range c.workers {
+				if now.Sub(w.lastSeen) > deadAfter {
+					c.log.Info("fleet worker dead", "worker", id, "name", w.name)
+					c.removeWorkerLocked(w, "worker_dead")
+				}
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// dropLeaseLocked dissolves a lease and requeues its unfinished tasks.
+func (c *Coordinator) dropLeaseLocked(l *lease, reason string) {
+	delete(c.leases, l.id)
+	c.metrics.leases.Dec()
+	if w := c.workers[l.worker]; w != nil {
+		w.batches--
+	}
+	for _, t := range l.tasks {
+		if !t.done && t.batch == l.id {
+			c.requeueLocked(t, reason)
+		}
+	}
+}
+
+// removeWorkerLocked unregisters a worker and requeues everything it held.
+func (c *Coordinator) removeWorkerLocked(w *workerState, reason string) {
+	delete(c.workers, w.id)
+	c.metrics.workers.Dec()
+	for _, l := range c.leases {
+		if l.worker == w.id {
+			c.dropLeaseLocked(l, reason)
+		}
+	}
+}
+
+// requeueLocked puts a not-done task back at the front of the queue (stolen
+// work jumps the line — its campaign has been waiting longest), failing it
+// outright once it has exhausted its retries.
+func (c *Coordinator) requeueLocked(t *task, reason string) {
+	if t.done {
+		return
+	}
+	t.batch = ""
+	c.metrics.requeues(reason).Inc()
+	c.requeued++
+	t.retries++
+	if t.retries > c.cfg.MaxRetries {
+		c.finishLocked(t, workloads.RunResult{}, nil,
+			fmt.Errorf("fleet: task %s requeued %d times without completing (last reason: %s)", t.id, t.retries, reason))
+		return
+	}
+	if !t.queued {
+		t.queued = true
+		c.queue = append([]*task{t}, c.queue...)
+		c.metrics.queueDepth.Inc()
+	}
+}
+
+// finishLocked settles a task — first completion wins — and wakes every
+// campaign waiting on it.
+func (c *Coordinator) finishLocked(t *task, run workloads.RunResult, rep *crashtest.Report, err error) {
+	if t.done {
+		return
+	}
+	t.done = true
+	t.run, t.report, t.err = run, rep, err
+	t.batch = ""
+	if t.queued {
+		t.queued = false
+		c.metrics.queueDepth.Dec()
+		for i, q := range c.queue {
+			if q == t {
+				c.queue = append(c.queue[:i], c.queue[i+1:]...)
+				break
+			}
+		}
+	}
+	if err != nil {
+		c.metrics.tasksFail.Inc()
+		c.tasksFailed++
+	} else {
+		c.metrics.tasksDone.Inc()
+		c.tasksDone++
+	}
+	for _, ch := range t.notify {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+	if t.waiters == 0 {
+		delete(c.tasks, t.id)
+	}
+}
+
+// enroll registers a campaign's interest in a unit of work, creating and
+// queueing the task on first use and joining the existing one otherwise —
+// the fleet-wide dedupe point.
+func (c *Coordinator) enroll(id, kind string, cell runner.Cell, key resultstore.Key, crash *crashtest.Config, notify chan struct{}) *task {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := c.tasks[id]
+	if t == nil {
+		cell.ID = id // transport ID: unique within any batch by construction
+		t = &task{id: id, kind: kind, cell: cell, key: key, crash: crash}
+		c.tasks[id] = t
+		t.queued = true
+		c.queue = append(c.queue, t)
+		c.metrics.queueDepth.Inc()
+	}
+	t.waiters++
+	t.notify = append(t.notify, notify)
+	return t
+}
+
+// release drops a campaign's subscriptions. Tasks nobody is waiting for are
+// pruned: queued ones leave the queue immediately; leased ones settle when
+// their batch completes and are pruned then.
+func (c *Coordinator) release(tasks []*task, notify chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, t := range tasks {
+		t.waiters--
+		for i, ch := range t.notify {
+			if ch == notify {
+				t.notify = append(t.notify[:i], t.notify[i+1:]...)
+				break
+			}
+		}
+		if t.waiters > 0 {
+			continue
+		}
+		if t.done {
+			delete(c.tasks, t.id)
+			continue
+		}
+		if t.queued && t.batch == "" {
+			t.queued = false
+			c.metrics.queueDepth.Dec()
+			for i, q := range c.queue {
+				if q == t {
+					c.queue = append(c.queue[:i], c.queue[i+1:]...)
+					break
+				}
+			}
+			delete(c.tasks, t.id)
+		}
+	}
+}
+
+// snapshot reads a task's settled outcome, if any.
+func (c *Coordinator) snapshot(t *task) (run workloads.RunResult, rep *crashtest.Report, err error, done bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return t.run, t.report, t.err, t.done
+}
+
+// RunPlan shards a plan across the fleet and merges the results back into a
+// plan-ordered ResultSet, exactly as runner.Run would have produced locally:
+// cells already in the store answer immediately (Cached), the rest dispatch
+// as batches, and identical cells — within the plan's own grid or across
+// concurrent campaigns — share one task. opts.Parallel is ignored (the
+// fleet's parallelism is its workers); opts.Seed and opts.Progress behave as
+// in runner.Run. Cancelling ctx abandons the wait: unfinished cells report
+// ErrCancelled and their tasks are withdrawn unless another campaign still
+// wants them.
+func (c *Coordinator) RunPlan(ctx context.Context, plan runner.Plan, opts runner.Options) (*runner.ResultSet, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	results := make([]runner.Result, len(plan.Cells))
+	total := len(plan.Cells)
+	done := 0
+	report := func(i int, res runner.Result) {
+		results[i] = res
+		done++
+		if opts.Progress != nil {
+			opts.Progress(runner.ProgressEvent{Done: done, Total: total, Result: res})
+		}
+	}
+
+	notify := make(chan struct{}, 1)
+	type slot struct {
+		idx  int
+		cell runner.Cell // the campaign's cell: original ID, seed filled
+		t    *task
+	}
+	var pending []slot
+	var enrolled []*task
+	for i, cell := range plan.Cells {
+		cell = runner.Seeded(cell, opts.Seed)
+		key := resultstore.Key{Cell: cell.Key(), Seed: cell.Seed}
+		if run, ok := c.cfg.Store.Get(key); ok {
+			report(i, runner.Result{Cell: cell, Run: run, Cached: true})
+			continue
+		}
+		t := c.enroll("c:"+key.Cell+"#"+fmt.Sprint(key.Seed), TaskCell, cell, key, nil, notify)
+		pending = append(pending, slot{idx: i, cell: cell, t: t})
+		enrolled = append(enrolled, t)
+	}
+	defer c.release(enrolled, notify)
+
+	for len(pending) > 0 {
+		var still []slot
+		for _, s := range pending {
+			run, _, err, settled := c.snapshot(s.t)
+			if !settled {
+				still = append(still, s)
+				continue
+			}
+			report(s.idx, runner.Result{Cell: s.cell, Run: run, Err: err})
+		}
+		pending = still
+		if len(pending) == 0 {
+			break
+		}
+		select {
+		case <-notify:
+		case <-ctx.Done():
+			// Mirror runner.Run's cancellation: unfinished cells carry
+			// ErrCancelled, the set still returns whole.
+			for _, s := range pending {
+				report(s.idx, runner.Result{Cell: s.cell, Err: runner.ErrCancelled})
+			}
+			pending = nil
+		}
+	}
+	return runner.NewResultSet(plan, results)
+}
+
+// Explore dispatches one crash-point exploration to the fleet and returns
+// its report. Identical configs — concurrent or retried — share one task.
+// Configs carrying a Factory cannot cross the wire and are rejected.
+func (c *Coordinator) Explore(ctx context.Context, cfg crashtest.Config) (*crashtest.Report, error) {
+	if cfg.Factory != nil {
+		return nil, fmt.Errorf("fleet: a crashtest Config with a Factory cannot be dispatched")
+	}
+	cfg.Parallel = 0
+	cfg.Progress = nil
+	raw, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: encoding crashtest config: %w", err)
+	}
+	sum := sha256.Sum256(raw)
+	id := "x:" + hex.EncodeToString(sum[:])
+
+	notify := make(chan struct{}, 1)
+	t := c.enroll(id, TaskCrashtest, runner.Cell{}, resultstore.Key{}, &cfg, notify)
+	defer c.release([]*task{t}, notify)
+	for {
+		_, rep, err, settled := c.snapshot(t)
+		if settled {
+			return rep, err
+		}
+		select {
+		case <-notify:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// register admits a worker.
+func (c *Coordinator) register(req RegisterRequest) RegisterResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextWorker++
+	id := fmt.Sprintf("w-%06d", c.nextWorker)
+	name := req.Name
+	if name == "" {
+		name = id
+	}
+	c.workers[id] = &workerState{id: id, name: name, parallel: req.Parallel, lastSeen: time.Now()}
+	c.metrics.workers.Inc()
+	c.log.Info("fleet worker registered", "worker", id, "name", name, "parallel", req.Parallel)
+	return RegisterResponse{
+		WorkerID:         id,
+		HeartbeatSeconds: c.cfg.Heartbeat.Seconds(),
+		LeaseSeconds:     c.cfg.LeaseTTL.Seconds(),
+	}
+}
+
+// touch refreshes a worker's liveness; reports false for unknown workers
+// (they must re-register).
+func (c *Coordinator) touch(workerID string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[workerID]
+	if w == nil {
+		return false
+	}
+	w.lastSeen = time.Now()
+	return true
+}
+
+// leaseBatch hands the worker the next batch: up to BatchSize queued tasks
+// of one kind (crashtest tasks go one per batch). Reports ok=false for an
+// unknown worker.
+func (c *Coordinator) leaseBatch(workerID string) (*Batch, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[workerID]
+	if w == nil {
+		return nil, false
+	}
+	w.lastSeen = time.Now()
+	if len(c.queue) == 0 {
+		return nil, true
+	}
+	n := 1
+	if c.queue[0].kind == TaskCell {
+		for n < len(c.queue) && n < c.cfg.BatchSize && c.queue[n].kind == TaskCell {
+			n++
+		}
+	}
+	tasks := append([]*task(nil), c.queue[:n]...)
+	c.queue = c.queue[n:]
+	c.nextBatch++
+	l := &lease{
+		id:      fmt.Sprintf("batch-%06d", c.nextBatch),
+		worker:  workerID,
+		tasks:   tasks,
+		expires: time.Now().Add(c.cfg.LeaseTTL),
+	}
+	c.leases[l.id] = l
+	w.batches++
+	c.metrics.leases.Inc()
+	c.metrics.batches.Inc()
+	b := &Batch{ID: l.id, LeaseSeconds: c.cfg.LeaseTTL.Seconds()}
+	for _, t := range tasks {
+		t.queued = false
+		c.metrics.queueDepth.Dec()
+		t.batch = l.id
+		wt := Task{ID: t.id, Kind: t.kind}
+		switch t.kind {
+		case TaskCell:
+			cell := t.cell
+			wt.Cell = &cell
+		case TaskCrashtest:
+			wt.Crashtest = t.crash
+		}
+		b.Tasks = append(b.Tasks, wt)
+	}
+	c.log.Info("fleet batch leased", "batch", l.id, "worker", workerID, "tasks", len(tasks), "kind", tasks[0].kind)
+	return b, true
+}
+
+// complete settles a batch's task statuses. First completion wins: statuses
+// for tasks already settled (a stolen batch's original worker reporting
+// late) are ignored. Leased tasks the worker did not mention are requeued.
+func (c *Coordinator) complete(req CompleteRequest) {
+	// Phase 1, under mu: classify statuses and collect the done cell tasks
+	// whose results must be read back from the store.
+	type pendingRead struct {
+		t   *task
+		key resultstore.Key
+	}
+	var reads []pendingRead
+	cellsDone := 0
+
+	c.mu.Lock()
+	w := c.workers[req.WorkerID]
+	if w != nil {
+		w.lastSeen = time.Now()
+	}
+	if l := c.leases[req.BatchID]; l != nil {
+		delete(c.leases, req.BatchID)
+		c.metrics.leases.Dec()
+		if w != nil {
+			w.batches--
+		}
+		reported := make(map[string]bool, len(req.Tasks))
+		for _, s := range req.Tasks {
+			reported[s.ID] = true
+		}
+		for _, t := range l.tasks {
+			if !t.done && t.batch == l.id && !reported[t.id] {
+				c.requeueLocked(t, "returned")
+			}
+		}
+	}
+	for _, s := range req.Tasks {
+		t := c.tasks[s.ID]
+		if t == nil || t.done {
+			continue
+		}
+		switch s.Status {
+		case StatusDone:
+			if t.kind == TaskCrashtest {
+				if s.Report == nil {
+					c.finishLocked(t, workloads.RunResult{}, nil,
+						fmt.Errorf("fleet: worker %s reported %s done without a report", req.WorkerID, t.id))
+					continue
+				}
+				c.finishLocked(t, workloads.RunResult{}, s.Report, nil)
+				continue
+			}
+			reads = append(reads, pendingRead{t: t, key: t.key})
+		case StatusFailed:
+			c.finishLocked(t, workloads.RunResult{}, nil, fmt.Errorf("%s", s.Error))
+		case StatusReturned:
+			c.requeueLocked(t, "returned")
+		}
+	}
+	c.mu.Unlock()
+
+	// Phase 2, store reads off the lock: a worker only reports a cell done
+	// after its write-through PUT landed, so a miss here means the record was
+	// lost in flight — requeue rather than trust it.
+	type readResult struct {
+		t   *task
+		run workloads.RunResult
+		ok  bool
+	}
+	results := make([]readResult, 0, len(reads))
+	for _, r := range reads {
+		run, ok := c.cfg.Store.Get(r.key)
+		results = append(results, readResult{t: r.t, run: run, ok: ok})
+	}
+
+	c.mu.Lock()
+	for _, r := range results {
+		if r.t.done {
+			continue
+		}
+		if !r.ok {
+			c.log.Info("fleet task done but record missing; requeueing", "task", r.t.id)
+			c.requeueLocked(r.t, "record_lost")
+			continue
+		}
+		c.finishLocked(r.t, r.run, nil, nil)
+		cellsDone++
+	}
+	var name string
+	if w != nil {
+		w.cells += uint64(cellsDone)
+		name = w.name
+	}
+	c.mu.Unlock()
+	if cellsDone > 0 && name != "" {
+		c.metrics.workerCells(name).Add(uint64(cellsDone))
+	}
+}
+
+// deregister removes a worker cleanly, requeueing anything it still held.
+func (c *Coordinator) deregister(workerID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w := c.workers[workerID]; w != nil {
+		c.log.Info("fleet worker deregistered", "worker", workerID, "name", w.name)
+		c.removeWorkerLocked(w, "deregistered")
+	}
+}
+
+// Status snapshots the fleet for GET /status and the dashboard.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	st := Status{
+		QueueDepth:  len(c.queue),
+		Leases:      len(c.leases),
+		TasksDone:   c.tasksDone,
+		TasksFailed: c.tasksFailed,
+		Requeues:    c.requeued,
+	}
+	for _, w := range c.workers {
+		st.Workers = append(st.Workers, WorkerStatus{
+			ID:         w.id,
+			Name:       w.name,
+			Parallel:   w.parallel,
+			Cells:      w.cells,
+			Batches:    w.batches,
+			LastSeenMS: now.Sub(w.lastSeen).Milliseconds(),
+		})
+	}
+	sortWorkers(st.Workers)
+	return st
+}
+
+// sortWorkers orders status rows by worker ID (registration order).
+func sortWorkers(ws []WorkerStatus) {
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j].ID < ws[j-1].ID; j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+}
+
+// Handler serves the fleet protocol. Routes carry the full APIBase prefix,
+// so the handler mounts unchanged on a bare mux (tests, a headless
+// coordinator) or under serve's API.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathRegister, func(w http.ResponseWriter, r *http.Request) {
+		var req RegisterRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		writeJSON(w, http.StatusOK, c.register(req))
+	})
+	mux.HandleFunc("POST "+PathHeartbeat, func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		if !c.touch(req.WorkerID) {
+			http.Error(w, "unknown worker", http.StatusNotFound)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST "+PathLease, func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		b, ok := c.leaseBatch(req.WorkerID)
+		if !ok {
+			http.Error(w, "unknown worker", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, LeaseResponse{Batch: b, Idle: b == nil})
+	})
+	mux.HandleFunc("POST "+PathComplete, func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		c.complete(req)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST "+PathDeregister, func(w http.ResponseWriter, r *http.Request) {
+		var req DeregisterRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		c.deregister(req.WorkerID)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET "+PathStatus, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Status())
+	})
+	mux.Handle(PathRecords, resultstore.Handler(c.cfg.Store))
+	return mux
+}
+
+// readJSON decodes a bounded JSON request body, answering the 400 itself.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, 16<<20)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("decoding request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// writeJSON writes v with status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

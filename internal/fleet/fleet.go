@@ -1,0 +1,185 @@
+// Package fleet shards one campaign across many dhtm-serve processes. A
+// coordinator splits compiled campaigns — a runner.Plan of sweep cells, or a
+// crashtest.Config grid — into batches; workers register, heartbeat, pull
+// batches, execute them through the ordinary local runner, and write every
+// cell result through the coordinator's content-addressed result store
+// (resultstore.HTTPBackend). The distribution invariants were already in
+// place before this package existed: cells are pure functions of
+// (cell identity, seed), seeds derive from cell content rather than
+// schedule, and results are content-addressed versioned records. The fleet
+// only adds dispatch, liveness and merge on top, which is why a fleet-merged
+// table is byte-identical to a single-node run of the same scenario + seed.
+//
+// Protocol (all under /api/v1/fleet, JSON bodies):
+//
+//	POST /register    {name, parallel}            -> {worker_id, intervals}
+//	POST /heartbeat   {worker_id}                 -> 204
+//	POST /lease       {worker_id}                 -> {batch} | {idle:true}
+//	POST /complete    {worker_id, batch_id, ...}  -> 204
+//	POST /deregister  {worker_id}                 -> 204
+//	GET  /status                                  -> Status
+//	GET  /records?cell=&seed=                     -> result record | 404
+//	PUT  /records?cell=&seed=                     <- result record -> 204
+//
+// Delivery semantics: a batch is leased with a deadline; a lease that
+// expires, a worker whose heartbeats stop, and work a draining worker hands
+// back all requeue at the front of the queue (work stealing), so stragglers
+// and crashes delay a campaign by at most one lease TTL. Retried work
+// re-reads the shared store before simulating, and the first completion of a
+// task wins, so each cell is simulated at most once fleet-wide except in the
+// narrow straggler race where a live worker is still mid-cell when its lease
+// is stolen.
+package fleet
+
+import (
+	"dhtm/internal/crashtest"
+	"dhtm/internal/runner"
+)
+
+// APIBase is the path prefix every fleet endpoint lives under, on both the
+// coordinator's standalone handler and the serve API that mounts it.
+const APIBase = "/api/v1/fleet"
+
+// Endpoint paths under APIBase.
+const (
+	PathRegister   = APIBase + "/register"
+	PathHeartbeat  = APIBase + "/heartbeat"
+	PathLease      = APIBase + "/lease"
+	PathComplete   = APIBase + "/complete"
+	PathDeregister = APIBase + "/deregister"
+	PathStatus     = APIBase + "/status"
+	// PathRecords is the resultstore record protocol (resultstore.Handler):
+	// the remote tier every worker's store reads and writes through.
+	PathRecords = APIBase + "/records"
+)
+
+// Task kinds.
+const (
+	// TaskCell is one sweep cell; the worker runs it through its store, so
+	// the result lands in the coordinator's store before "done" is reported.
+	TaskCell = "cell"
+	// TaskCrashtest is one crash-point exploration config; the report rides
+	// back in the completion payload (explorations have no store records).
+	TaskCrashtest = "crashtest"
+)
+
+// Task statuses a worker reports in a CompleteRequest.
+const (
+	// StatusDone: executed (or answered from the store); for cells the
+	// result is in the shared store, for crashtests the report is attached.
+	StatusDone = "done"
+	// StatusFailed: the simulation itself failed; Error carries the message.
+	// Failures are deterministic (same cell, same seed, same error), so they
+	// are delivered to the campaign rather than retried.
+	StatusFailed = "failed"
+	// StatusReturned: not executed — the worker is shutting down or was
+	// cancelled mid-batch. The coordinator requeues the task.
+	StatusReturned = "returned"
+)
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	// Name labels the worker in status output and per-worker metrics.
+	// Empty means "use the assigned worker ID".
+	Name string `json:"name,omitempty"`
+	// Parallel is the worker's cell pool size, for capacity accounting.
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// RegisterResponse assigns the worker its identity and cadence.
+type RegisterResponse struct {
+	WorkerID string `json:"worker_id"`
+	// HeartbeatSeconds is how often the worker must heartbeat; after three
+	// missed beats the coordinator declares it dead and steals its batches.
+	HeartbeatSeconds float64 `json:"heartbeat_seconds"`
+	// LeaseSeconds is the batch deadline: a batch not completed within it is
+	// requeued for another worker.
+	LeaseSeconds float64 `json:"lease_seconds"`
+}
+
+// HeartbeatRequest keeps a worker's registration alive.
+type HeartbeatRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// LeaseRequest asks for the next batch of work.
+type LeaseRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// Task is one unit of work inside a batch: exactly one of Cell or Crashtest
+// is set, per Kind. The ID is the coordinator's dedupe key; workers echo it
+// in TaskStatus and use it as the transport plan's cell ID.
+type Task struct {
+	ID        string            `json:"id"`
+	Kind      string            `json:"kind"`
+	Cell      *runner.Cell      `json:"cell,omitempty"`
+	Crashtest *crashtest.Config `json:"crashtest,omitempty"`
+}
+
+// Batch is a leased slice of a campaign. All tasks in a batch share a kind.
+type Batch struct {
+	ID    string `json:"id"`
+	Tasks []Task `json:"tasks"`
+	// LeaseSeconds echoes the deadline the coordinator will enforce.
+	LeaseSeconds float64 `json:"lease_seconds"`
+}
+
+// LeaseResponse carries a batch, or Idle when the queue is momentarily
+// empty (the worker polls again after its poll interval).
+type LeaseResponse struct {
+	Batch *Batch `json:"batch,omitempty"`
+	Idle  bool   `json:"idle,omitempty"`
+}
+
+// TaskStatus reports one task's outcome within a completed batch.
+type TaskStatus struct {
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	// Error carries the failure message for StatusFailed.
+	Error string `json:"error,omitempty"`
+	// Report carries the exploration report for a done TaskCrashtest.
+	Report *crashtest.Report `json:"report,omitempty"`
+}
+
+// CompleteRequest settles a leased batch. Leased tasks missing from Tasks
+// are treated as returned.
+type CompleteRequest struct {
+	WorkerID string       `json:"worker_id"`
+	BatchID  string       `json:"batch_id"`
+	Tasks    []TaskStatus `json:"tasks"`
+}
+
+// DeregisterRequest removes a worker cleanly; its remaining leases requeue
+// immediately instead of waiting for the heartbeat timeout.
+type DeregisterRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// WorkerStatus is one worker's row in Status.
+type WorkerStatus struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	Parallel int    `json:"parallel"`
+	// Cells counts the sweep cells this worker has completed.
+	Cells uint64 `json:"cells"`
+	// Batches is the worker's currently leased batch count.
+	Batches int `json:"batches"`
+	// LastSeenMS is milliseconds since the worker's last heartbeat or API
+	// call.
+	LastSeenMS int64 `json:"last_seen_ms"`
+}
+
+// Status is the coordinator snapshot served at GET /status and shown on the
+// dashboard's fleet panel.
+type Status struct {
+	Workers []WorkerStatus `json:"workers"`
+	// QueueDepth is tasks waiting for a lease; Leases is batches out with
+	// workers right now.
+	QueueDepth int `json:"queue_depth"`
+	Leases     int `json:"leases"`
+	// TasksDone / TasksFailed / Requeues are lifetime totals.
+	TasksDone   uint64 `json:"tasks_done"`
+	TasksFailed uint64 `json:"tasks_failed"`
+	Requeues    uint64 `json:"requeues"`
+}

@@ -1,0 +1,548 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dhtm/internal/crashtest"
+	"dhtm/internal/obs"
+	"dhtm/internal/resultstore"
+	"dhtm/internal/runner"
+	"dhtm/internal/scenario"
+	"dhtm/internal/txn"
+	"dhtm/internal/workloads"
+)
+
+// testFleet is a coordinator with a memory-only store behind an httptest
+// listener, plus helpers to attach workers.
+type testFleet struct {
+	t     *testing.T
+	coord *Coordinator
+	srv   *httptest.Server
+}
+
+// fastTimings makes liveness events (lease expiry, dead-worker detection)
+// fire within milliseconds so tests do not wait on production TTLs.
+func fastTimings(cfg *CoordinatorConfig) {
+	if cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = 200 * time.Millisecond
+	}
+	if cfg.Heartbeat == 0 {
+		cfg.Heartbeat = 25 * time.Millisecond
+	}
+}
+
+func newTestFleet(t *testing.T, cfg CoordinatorConfig) *testFleet {
+	t.Helper()
+	if cfg.Store == nil {
+		s, err := resultstore.Open("", resultstore.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Store = s
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	fastTimings(&cfg)
+	coord, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		coord.Close()
+	})
+	return &testFleet{t: t, coord: coord, srv: srv}
+}
+
+// startWorker runs a worker against the fleet until the test ends (or the
+// returned cancel is called). Stopping is synchronous: cancel returns after
+// the worker has drained and deregistered.
+func (f *testFleet) startWorker(cfg WorkerConfig) (*Worker, func()) {
+	f.t.Helper()
+	cfg.Coordinator = f.srv.URL
+	if cfg.Poll == 0 {
+		cfg.Poll = 5 * time.Millisecond
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	w, err := NewWorker(cfg)
+	if err != nil {
+		f.t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := w.Run(ctx); err != nil {
+			f.t.Errorf("worker run: %v", err)
+		}
+	}()
+	stop := func() {
+		cancel()
+		<-done
+	}
+	f.t.Cleanup(stop)
+	return w, stop
+}
+
+// stubResult derives a deterministic fake simulation outcome from a cell, so
+// fleet-merged and locally-run tables can be compared byte for byte without
+// paying for real simulations.
+func stubResult(c runner.Cell) workloads.RunResult {
+	return workloads.RunResult{
+		Design:    c.Design,
+		Workload:  c.Workload,
+		Committed: uint64(c.Cores*c.TxPerCore) + uint64(len(c.Workload)),
+		Cycles:    uint64(c.Seed%9973) + 100,
+	}
+}
+
+// countingExec is a stub ExecFunc counting executions per cell identity.
+type countingExec struct {
+	mu     sync.Mutex
+	counts map[string]int
+	block  chan struct{} // when non-nil, executions wait on it
+}
+
+func (e *countingExec) exec(c runner.Cell) (workloads.RunResult, error) {
+	e.mu.Lock()
+	if e.counts == nil {
+		e.counts = make(map[string]int)
+	}
+	e.counts[fmt.Sprintf("%s#%d", c.Key(), c.Seed)]++
+	block := e.block
+	e.mu.Unlock()
+	if block != nil {
+		<-block
+	}
+	return stubResult(c), nil
+}
+
+func (e *countingExec) total() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, c := range e.counts {
+		n += c
+	}
+	return n
+}
+
+func (e *countingExec) max() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := 0
+	for _, c := range e.counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// testPlan builds a grid of distinct cells.
+func testPlan(n int) runner.Plan {
+	p := runner.Plan{Name: "fleet-test"}
+	for i := 0; i < n; i++ {
+		p.Add(runner.Cell{
+			ID:        fmt.Sprintf("cell-%02d", i),
+			Design:    "DHTM",
+			Workload:  "hash",
+			Cores:     2 + i%3,
+			TxPerCore: 1 + i%4,
+		})
+	}
+	return p
+}
+
+// renderTable renders a result set exactly as serve's /tables and the CLIs
+// do — the byte-identity surface the fleet must preserve.
+func renderTable(rs *runner.ResultSet) []byte {
+	var buf bytes.Buffer
+	scenario.SweepTable(rs.Plan.Name, scenario.SweepOutcomes(rs)).Render(&buf)
+	return buf.Bytes()
+}
+
+// TestFleetMatchesSingleNode is the core merge invariant: the same plan run
+// through a two-worker fleet and through the local runner renders
+// byte-identical sweep tables.
+func TestFleetMatchesSingleNode(t *testing.T) {
+	plan := testPlan(10)
+
+	// Single-node reference, cold store.
+	localStore, err := resultstore.Open("", resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	localPlan := plan
+	localPlan.Store = localStore
+	exec := &countingExec{}
+	localRS, err := runner.Run(context.Background(), localPlan, exec.exec, runner.Options{Parallel: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderTable(localRS)
+
+	// Fleet run of the identical plan, two workers, batches of 3.
+	f := newTestFleet(t, CoordinatorConfig{BatchSize: 3})
+	fexec := &countingExec{}
+	f.startWorker(WorkerConfig{Name: "w1", Parallel: 2, Exec: fexec.exec})
+	f.startWorker(WorkerConfig{Name: "w2", Parallel: 2, Exec: fexec.exec})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	fleetRS, err := f.coord.RunPlan(ctx, plan, runner.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := renderTable(fleetRS)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fleet table differs from single-node:\n--- fleet ---\n%s--- local ---\n%s", got, want)
+	}
+	if n := fexec.max(); n != 1 {
+		t.Fatalf("a cell was simulated %d times across the fleet", n)
+	}
+	if n := fexec.total(); n != len(plan.Cells) {
+		t.Fatalf("fleet simulated %d cells, want %d", n, len(plan.Cells))
+	}
+
+	// Re-running the campaign answers wholly from the coordinator's store.
+	rerunRS, err := f.coord.RunPlan(ctx, plan, runner.Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rerunRS.Results {
+		if !r.Cached {
+			t.Fatalf("warm rerun simulated cell %s", r.Cell.ID)
+		}
+	}
+	if n := fexec.total(); n != len(plan.Cells) {
+		t.Fatalf("warm rerun re-simulated: %d executions total", n)
+	}
+}
+
+// TestConcurrentCampaignsSimulateEachCellOnce submits the same plan from
+// many goroutines at once: fleet-wide dedupe must collapse them onto one
+// task per cell, asserted from the actual compute count.
+func TestConcurrentCampaignsSimulateEachCellOnce(t *testing.T) {
+	f := newTestFleet(t, CoordinatorConfig{BatchSize: 4})
+	exec := &countingExec{}
+	w, _ := f.startWorker(WorkerConfig{Name: "w1", Parallel: 2, Exec: exec.exec})
+
+	plan := testPlan(8)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	sets := make([]*runner.ResultSet, 4)
+	errs := make([]error, 4)
+	for i := range sets {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sets[i], errs[i] = f.coord.RunPlan(ctx, plan, runner.Options{Seed: 11})
+		}(i)
+	}
+	wg.Wait()
+	want := renderTable(sets[0])
+	for i := range sets {
+		if errs[i] != nil {
+			t.Fatalf("campaign %d: %v", i, errs[i])
+		}
+		if err := sets[i].Err(); err != nil {
+			t.Fatalf("campaign %d cells: %v", i, err)
+		}
+	}
+	if n := exec.max(); n != 1 {
+		t.Fatalf("concurrent campaigns simulated a cell %d times", n)
+	}
+	if n := exec.total(); n != len(plan.Cells) {
+		t.Fatalf("concurrent campaigns simulated %d cells, want %d", n, len(plan.Cells))
+	}
+	// The worker's own compute counter agrees — the fleet-wide at-most-once
+	// number /metrics reports.
+	if m := w.Store().Metrics(); m.Computes != uint64(len(plan.Cells)) {
+		t.Fatalf("worker store computed %d, want %d", m.Computes, len(plan.Cells))
+	}
+	// All campaigns merged identical tables (ignoring cached flags, which
+	// depend on arrival order, compare the first two raw) — cells were
+	// dispatched once, every campaign saw the same stored results.
+	for i := 1; i < len(sets); i++ {
+		got := renderTable(sets[i])
+		if !bytes.Equal(stripCached(got), stripCached(want)) {
+			t.Fatalf("campaign %d table differs:\n%s\nvs\n%s", i, got, want)
+		}
+	}
+}
+
+// stripCached blanks the "cached" column (campaigns racing the same cells
+// legitimately disagree on who hit the store).
+func stripCached(table []byte) []byte {
+	return bytes.ReplaceAll(table, []byte("yes"), []byte("   "))
+}
+
+// TestDeadWorkerBatchRedispatched is the fault-injection case: a rogue
+// worker leases a batch and vanishes without ever completing or
+// heartbeating. The coordinator must declare it dead, steal the batch, and
+// the surviving worker must finish the campaign with results byte-identical
+// to a single-node run.
+func TestDeadWorkerBatchRedispatched(t *testing.T) {
+	plan := testPlan(6)
+
+	// Single-node reference.
+	localStore, err := resultstore.Open("", resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	localPlan := plan
+	localPlan.Store = localStore
+	refExec := &countingExec{}
+	localRS, err := runner.Run(context.Background(), localPlan, refExec.exec, runner.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderTable(localRS)
+
+	f := newTestFleet(t, CoordinatorConfig{BatchSize: 3, LeaseTTL: 10 * time.Second})
+	// The rogue: registers and leases through the coordinator's own API,
+	// then is hard-killed (no complete, no heartbeat, no deregister). The
+	// long lease TTL above ensures recovery comes from dead-worker
+	// detection, not lease expiry.
+	campaign := make(chan struct{})
+	var rogueBatch *Batch
+	go func() {
+		defer close(campaign)
+		reg := f.coord.register(RegisterRequest{Name: "rogue"})
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			b, ok := f.coord.leaseBatch(reg.WorkerID)
+			if !ok {
+				t.Error("rogue worker unknown to its own coordinator")
+				return
+			}
+			if b != nil {
+				rogueBatch = b
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Error("rogue never got a batch")
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	resc := make(chan *runner.ResultSet, 1)
+	errc := make(chan error, 1)
+	go func() {
+		rs, err := f.coord.RunPlan(ctx, plan, runner.Options{Seed: 3})
+		resc <- rs
+		errc <- err
+	}()
+
+	// Wait for the rogue to swallow a batch, then bring up the survivor.
+	<-campaign
+	if t.Failed() {
+		t.FailNow()
+	}
+	exec := &countingExec{}
+	f.startWorker(WorkerConfig{Name: "survivor", Parallel: 2, Exec: exec.exec})
+
+	rs := <-resc
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatalf("campaign cells failed: %v", err)
+	}
+	got := renderTable(rs)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("post-steal table differs from single-node:\n--- fleet ---\n%s--- local ---\n%s", got, want)
+	}
+	// The rogue executed nothing, so at-most-once still holds exactly.
+	if n := exec.max(); n != 1 {
+		t.Fatalf("a stolen cell was simulated %d times", n)
+	}
+	st := f.coord.Status()
+	if st.Requeues == 0 {
+		t.Fatalf("no requeues recorded after a dead worker: %+v", st)
+	}
+	if len(rogueBatch.Tasks) == 0 {
+		t.Fatal("rogue batch was empty")
+	}
+}
+
+// TestWorkerGracefulShutdownReturnsWork cancels a worker mid-batch: the
+// in-flight cell finishes and reports done, never-started cells go back as
+// returned, and a second worker completes the campaign without ever
+// re-simulating the finished cell.
+func TestWorkerGracefulShutdownReturnsWork(t *testing.T) {
+	// One batch holding the whole plan, serial execution, first cell blocks.
+	f := newTestFleet(t, CoordinatorConfig{BatchSize: 8, LeaseTTL: 10 * time.Second})
+	plan := testPlan(4)
+
+	block := make(chan struct{})
+	exec1 := &countingExec{block: block}
+	_, stop1 := f.startWorker(WorkerConfig{Name: "leaver", Parallel: 1, Exec: exec1.exec})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	resc := make(chan *runner.ResultSet, 1)
+	errc := make(chan error, 1)
+	go func() {
+		rs, err := f.coord.RunPlan(ctx, plan, runner.Options{Seed: 5})
+		resc <- rs
+		errc <- err
+	}()
+
+	// Wait until the first cell is actually executing.
+	deadline := time.Now().Add(10 * time.Second)
+	for exec1.total() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never started a cell")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// SIGTERM equivalent: cancel the worker while its first cell runs, then
+	// let the cell finish. stop1 returns only after the worker completed the
+	// batch hand-back and deregistered.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(block)
+	}()
+	stop1()
+	if n := exec1.total(); n != 1 {
+		t.Fatalf("leaving worker executed %d cells, want exactly the in-flight 1", n)
+	}
+
+	// The second worker picks up the returned remainder.
+	exec2 := &countingExec{}
+	f.startWorker(WorkerConfig{Name: "finisher", Parallel: 2, Exec: exec2.exec})
+	rs := <-resc
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Err(); err != nil {
+		t.Fatalf("campaign failed after graceful handoff: %v", err)
+	}
+	if n := exec2.total(); n != len(plan.Cells)-1 {
+		t.Fatalf("second worker executed %d cells, want %d (the returned remainder)", n, len(plan.Cells)-1)
+	}
+	if n := exec1.max() + exec2.max(); exec1.max() != 1 || exec2.max() != 1 {
+		t.Fatalf("some cell ran twice (max counts %d)", n)
+	}
+	st := f.coord.Status()
+	if st.Requeues == 0 {
+		t.Fatal("returned work recorded no requeues")
+	}
+}
+
+// TestFleetMetricsExposition checks the dhtm_fleet_* families land in the
+// coordinator's registry with the promised names and labels.
+func TestFleetMetricsExposition(t *testing.T) {
+	reg := obs.NewRegistry()
+	f := newTestFleet(t, CoordinatorConfig{Registry: reg, BatchSize: 2})
+	exec := &countingExec{}
+	f.startWorker(WorkerConfig{Name: "metrics-worker", Parallel: 1, Exec: exec.exec})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := f.coord.RunPlan(ctx, testPlan(4), runner.Options{Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"dhtm_fleet_workers 1",
+		"dhtm_fleet_batches_dispatched_total 2",
+		`dhtm_fleet_tasks_total{status="done"} 4`,
+		`dhtm_fleet_worker_cells_total{worker="metrics-worker"} 4`,
+		"dhtm_fleet_queue_depth 0",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestCrashtestThroughFleet dispatches a tiny real exploration to a real
+// worker and checks the report matches a local run of the same config.
+func TestCrashtestThroughFleet(t *testing.T) {
+	cfg := crashtest.Config{Design: "DHTM", Workload: "queue", Cores: 2, TxPerCore: 1, OpsPerTx: 4}
+	local, err := crashtest.Explore(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := newTestFleet(t, CoordinatorConfig{})
+	f.startWorker(WorkerConfig{Name: "xw", Parallel: 2}) // real harness.Execute path unused; crashtest runs its own engine
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep, err := f.coord.Explore(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Explored != local.Explored || rep.TotalPoints != local.TotalPoints || rep.Failed != local.Failed {
+		t.Fatalf("fleet report %+v diverges from local %+v", rep, local)
+	}
+	if rep.RunSeed != local.RunSeed {
+		t.Fatalf("fleet run seed %d != local %d", rep.RunSeed, local.RunSeed)
+	}
+}
+
+// TestFactoryConfigRejected: configs carrying a Factory cannot serialize.
+func TestFactoryConfigRejected(t *testing.T) {
+	f := newTestFleet(t, CoordinatorConfig{})
+	_, err := f.coord.Explore(context.Background(), crashtest.Config{
+		Design: "DHTM", Workload: "queue",
+		Factory: func(*txn.Env) (txn.Runtime, error) { return nil, nil },
+	})
+	if err == nil || !strings.Contains(err.Error(), "Factory") {
+		t.Fatalf("Factory config accepted: %v", err)
+	}
+}
+
+// TestCampaignCancellation: cancelling a campaign releases it with
+// ErrCancelled cells and withdraws unclaimed work from the queue.
+func TestCampaignCancellation(t *testing.T) {
+	f := newTestFleet(t, CoordinatorConfig{}) // no workers: nothing will run
+	ctx, cancel := context.WithCancel(context.Background())
+	plan := testPlan(3)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	rs, err := f.coord.RunPlan(ctx, plan, runner.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs.Results {
+		if r.Err == nil || !strings.Contains(r.Err.Error(), "cancelled") {
+			t.Fatalf("cell %s: err = %v, want cancelled", r.Cell.ID, r.Err)
+		}
+	}
+	// The withdrawn tasks must leave the queue so no worker ever runs them.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := f.coord.Status(); st.QueueDepth == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cancelled campaign left work queued: %+v", f.coord.Status())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

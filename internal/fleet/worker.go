@@ -1,0 +1,351 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"dhtm/internal/crashtest"
+	"dhtm/internal/harness"
+	"dhtm/internal/obs"
+	"dhtm/internal/resultstore"
+	"dhtm/internal/runner"
+)
+
+// WorkerConfig assembles a worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (e.g. http://host:8080);
+	// the fleet API is reached under its /api/v1/fleet. Required.
+	Coordinator string
+	// Name labels the worker in the coordinator's status and metrics.
+	Name string
+	// Parallel is the cell pool size within a batch (<= 0 means GOMAXPROCS).
+	Parallel int
+	// Exec runs one cell (nil means harness.Execute). Tests substitute
+	// stubs; every production worker runs the real simulator.
+	Exec runner.ExecFunc
+	// Client is the HTTP client for all coordinator traffic. Nil gets a
+	// 30-second-timeout default.
+	Client *http.Client
+	// Poll is how long to idle between leases when the queue is empty
+	// (<= 0 means 500ms).
+	Poll time.Duration
+	// MemEntries caps the worker store's LRU front (0 = store default).
+	MemEntries int
+	// Registry receives the worker store's tier="remote" metric families.
+	// Nil means obs.Default.
+	Registry *obs.Registry
+	// Logger receives lifecycle logs. Nil disables logging.
+	Logger *slog.Logger
+}
+
+// Worker pulls batches from a coordinator and executes them through the
+// ordinary local runner, reading and writing every cell result through the
+// coordinator's store (an LRU + singleflight front over the remote record
+// tier). Create with NewWorker, then Run until the context cancels.
+type Worker struct {
+	cfg    WorkerConfig
+	client *http.Client
+	store  *resultstore.Store
+	log    *slog.Logger
+
+	id        string
+	heartbeat time.Duration
+}
+
+// NewWorker returns a worker ready to Run.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, fmt.Errorf("fleet: WorkerConfig.Coordinator is required")
+	}
+	cfg.Coordinator = strings.TrimRight(cfg.Coordinator, "/")
+	if cfg.Exec == nil {
+		cfg.Exec = harness.Execute
+	}
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 500 * time.Millisecond
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Default
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.DiscardHandler)
+	}
+	store, err := resultstore.OpenWith(
+		resultstore.NewHTTPBackend(cfg.Coordinator+PathRecords, cfg.Client),
+		resultstore.Options{MemEntries: cfg.MemEntries, Registry: cfg.Registry},
+	)
+	if err != nil {
+		return nil, err
+	}
+	return &Worker{cfg: cfg, client: cfg.Client, store: store, log: cfg.Logger}, nil
+}
+
+// Store exposes the worker's read-through store (its metrics carry the
+// tier="remote" series).
+func (w *Worker) Store() *resultstore.Store { return w.store }
+
+// Run is the worker's life: register, heartbeat, lease-execute-complete
+// until ctx cancels. Cancellation is the graceful SIGTERM path: cells
+// already simulating finish and report done, never-started work goes back as
+// returned, and the worker deregisters — all on a background context, so
+// none of it is cut short by the very signal that triggered it. Run returns
+// nil on a graceful shutdown and an error only when the worker could never
+// join the fleet.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	w.log.Info("fleet worker joined", "worker", w.id, "coordinator", w.cfg.Coordinator)
+
+	hbStop := make(chan struct{})
+	hbDone := make(chan struct{})
+	go w.heartbeatLoop(hbStop, hbDone)
+	defer func() {
+		close(hbStop)
+		<-hbDone
+		w.deregister()
+		w.log.Info("fleet worker left", "worker", w.id)
+	}()
+
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		batch, err := w.lease(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			if e := w.reregisterIfUnknown(ctx, err); e != nil {
+				// Coordinator unreachable or refusing us: back off and retry
+				// for as long as the context lives.
+				w.log.Info("fleet lease failed", "worker", w.id, "err", err)
+			}
+			if !sleep(ctx, w.cfg.Poll) {
+				return nil
+			}
+			continue
+		}
+		if batch == nil {
+			if !sleep(ctx, w.cfg.Poll) {
+				return nil
+			}
+			continue
+		}
+		statuses := w.execute(ctx, batch)
+		if err := w.complete(batch.ID, statuses); err != nil {
+			// The lease will expire and the work requeue; nothing to unwind.
+			w.log.Info("fleet complete failed", "worker", w.id, "batch", batch.ID, "err", err)
+		}
+	}
+}
+
+// execute runs one batch. Cell batches go through the ordinary runner with
+// the worker's read-through store — a retried batch's already-computed cells
+// answer from the coordinator without simulating. Cancellation mid-batch
+// maps runner semantics onto fleet statuses: finished cells report done,
+// never-started ones report returned.
+func (w *Worker) execute(ctx context.Context, b *Batch) []TaskStatus {
+	if len(b.Tasks) > 0 && b.Tasks[0].Kind == TaskCrashtest {
+		return w.executeCrashtests(ctx, b)
+	}
+	plan := runner.Plan{Name: b.ID, Store: w.store}
+	for _, t := range b.Tasks {
+		if t.Cell == nil {
+			continue
+		}
+		plan.Cells = append(plan.Cells, *t.Cell)
+	}
+	rs, err := runner.Run(ctx, plan, w.cfg.Exec, runner.Options{Parallel: w.cfg.Parallel})
+	if err != nil {
+		// Plan-level failure (malformed batch): nothing ran.
+		statuses := make([]TaskStatus, len(b.Tasks))
+		for i, t := range b.Tasks {
+			statuses[i] = TaskStatus{ID: t.ID, Status: StatusFailed, Error: err.Error()}
+		}
+		return statuses
+	}
+	statuses := make([]TaskStatus, 0, len(rs.Results))
+	for _, r := range rs.Results {
+		switch {
+		case r.Err == nil:
+			statuses = append(statuses, TaskStatus{ID: r.Cell.ID, Status: StatusDone})
+		case errorIsCancelled(r.Err):
+			statuses = append(statuses, TaskStatus{ID: r.Cell.ID, Status: StatusReturned})
+		default:
+			statuses = append(statuses, TaskStatus{ID: r.Cell.ID, Status: StatusFailed, Error: r.Err.Error()})
+		}
+	}
+	return statuses
+}
+
+// executeCrashtests runs a batch of exploration configs sequentially (each
+// config fans its crash points out across the worker's own cell pool).
+func (w *Worker) executeCrashtests(ctx context.Context, b *Batch) []TaskStatus {
+	statuses := make([]TaskStatus, 0, len(b.Tasks))
+	for _, t := range b.Tasks {
+		if t.Crashtest == nil {
+			statuses = append(statuses, TaskStatus{ID: t.ID, Status: StatusFailed, Error: "crashtest task without a config"})
+			continue
+		}
+		if ctx.Err() != nil {
+			statuses = append(statuses, TaskStatus{ID: t.ID, Status: StatusReturned})
+			continue
+		}
+		cfg := *t.Crashtest
+		cfg.Parallel = w.cfg.Parallel
+		rep, err := crashtest.Explore(ctx, cfg)
+		switch {
+		case err == nil:
+			statuses = append(statuses, TaskStatus{ID: t.ID, Status: StatusDone, Report: rep})
+		case errorIsCancelled(err):
+			statuses = append(statuses, TaskStatus{ID: t.ID, Status: StatusReturned})
+		default:
+			statuses = append(statuses, TaskStatus{ID: t.ID, Status: StatusFailed, Error: err.Error()})
+		}
+	}
+	return statuses
+}
+
+// errorIsCancelled matches both runner.ErrCancelled (which wraps
+// context.Canceled) and a raw context error from crashtest.Explore.
+func errorIsCancelled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// register joins the fleet, retrying for as long as ctx lives so workers can
+// start before their coordinator.
+func (w *Worker) register(ctx context.Context) error {
+	for {
+		var resp RegisterResponse
+		err := w.post(ctx, PathRegister, RegisterRequest{Name: w.cfg.Name, Parallel: w.cfg.Parallel}, &resp)
+		if err == nil {
+			w.id = resp.WorkerID
+			w.heartbeat = time.Duration(resp.HeartbeatSeconds * float64(time.Second))
+			if w.heartbeat <= 0 {
+				w.heartbeat = 5 * time.Second
+			}
+			return nil
+		}
+		w.log.Info("fleet register failed; retrying", "coordinator", w.cfg.Coordinator, "err", err)
+		if !sleep(ctx, w.cfg.Poll) {
+			return fmt.Errorf("fleet: registering with %s: %w", w.cfg.Coordinator, err)
+		}
+	}
+}
+
+// reregisterIfUnknown re-joins after the coordinator forgot us (it restarted
+// or declared us dead while we ran a long batch). Returns nil when it
+// handled the error.
+func (w *Worker) reregisterIfUnknown(ctx context.Context, err error) error {
+	if !strings.Contains(err.Error(), "unknown worker") {
+		return err
+	}
+	w.log.Info("fleet worker unknown to coordinator; re-registering", "worker", w.id)
+	return w.register(ctx)
+}
+
+// heartbeatLoop beats until stopped. Beats ride a short background-context
+// timeout so a mid-shutdown beat still lands.
+func (w *Worker) heartbeatLoop(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(w.heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), w.heartbeat)
+			err := w.post(ctx, PathHeartbeat, HeartbeatRequest{WorkerID: w.id}, nil)
+			cancel()
+			if err != nil {
+				w.log.Info("fleet heartbeat failed", "worker", w.id, "err", err)
+			}
+		}
+	}
+}
+
+// lease asks for the next batch; nil means idle.
+func (w *Worker) lease(ctx context.Context) (*Batch, error) {
+	var resp LeaseResponse
+	if err := w.post(ctx, PathLease, LeaseRequest{WorkerID: w.id}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Batch, nil
+}
+
+// complete settles a batch on a background context: it is the handing-back
+// of work during graceful shutdown, so it must survive the cancelled run
+// context.
+func (w *Worker) complete(batchID string, statuses []TaskStatus) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return w.post(ctx, PathComplete, CompleteRequest{WorkerID: w.id, BatchID: batchID, Tasks: statuses}, nil)
+}
+
+// deregister leaves the fleet on a background context (the shutdown path).
+func (w *Worker) deregister() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := w.post(ctx, PathDeregister, DeregisterRequest{WorkerID: w.id}, nil); err != nil {
+		w.log.Info("fleet deregister failed", "worker", w.id, "err", err)
+	}
+}
+
+// post sends one JSON request to a fleet endpoint and decodes the reply
+// into out (nil out discards the body).
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	raw, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("fleet: %s: %s: %s", path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	if out != nil {
+		return json.NewDecoder(io.LimitReader(resp.Body, 16<<20)).Decode(out)
+	}
+	return nil
+}
+
+// sleep waits d or until ctx cancels; reports false on cancellation.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

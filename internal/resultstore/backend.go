@@ -1,0 +1,154 @@
+package resultstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dhtm/internal/workloads"
+)
+
+// Outcome classifies one backend lookup. Corrupt is also a miss — a backend
+// never surfaces a bad record as an error, it recomputes over it — but the
+// store counts the two apart so a tampered or version-skewed tier is visible
+// in the metrics.
+type Outcome int
+
+const (
+	// OutcomeMiss: no record under the key.
+	OutcomeMiss Outcome = iota
+	// OutcomeHit: a valid record was read.
+	OutcomeHit
+	// OutcomeCorrupt: a record existed but was rejected (unreadable,
+	// unparsable, version-skewed, key-mismatched, or — for remote tiers —
+	// unreachable). Treated exactly like a miss by callers.
+	OutcomeCorrupt
+)
+
+// Backend is the durable tier under a Store's in-memory LRU front. The Store
+// layers the LRU, the singleflight table and the metrics on top, so every
+// backend gets the same semantics the original disk tier had: reads are
+// corruption-tolerant (an Outcome, never an error), writes are atomic from
+// the reader's point of view, and records are self-describing versioned
+// documents addressed by (cell key, seed, FormatVersion).
+//
+// Two implementations ship: DirBackend (the original sharded directory
+// tree, on-disk bytes unchanged) and HTTPBackend (a remote store served by
+// a fleet coordinator — see Handler).
+type Backend interface {
+	// Tier labels the backend's metric series ("disk", "remote").
+	Tier() string
+	// Location describes where records live — a directory, a URL.
+	Location() string
+	// Get returns the record stored for k. Every failure mode is an Outcome,
+	// never an error.
+	Get(k Key) (workloads.RunResult, Outcome)
+	// Put durably persists the result for k.
+	Put(k Key, res workloads.RunResult) error
+}
+
+// encodeRecord renders the versioned record document for k — the exact bytes
+// DirBackend writes to disk and Handler serves over the wire.
+func encodeRecord(k Key, res workloads.RunResult) ([]byte, error) {
+	raw, err := json.MarshalIndent(record{Version: FormatVersion, Key: k, Result: res}, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: encoding record: %w", err)
+	}
+	return append(raw, '\n'), nil
+}
+
+// decodeRecord parses and validates a record document against the key it was
+// requested under. Bad JSON, version skew and key mismatch all report
+// OutcomeCorrupt — the shared "reads as a miss, never an error" contract of
+// every backend.
+func decodeRecord(raw []byte, k Key) (workloads.RunResult, Outcome) {
+	var rec record
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return workloads.RunResult{}, OutcomeCorrupt
+	}
+	if rec.Version != FormatVersion || rec.Key != k {
+		return workloads.RunResult{}, OutcomeCorrupt
+	}
+	return rec.Result, OutcomeHit
+}
+
+// DirBackend is the local-directory tier: sharded versioned JSON records
+// written via temp-file + atomic rename. It carries the exact on-disk format
+// the store has always used, so existing result trees keep serving.
+type DirBackend struct {
+	dir string
+}
+
+// NewDirBackend roots a directory backend at dir, creating the version
+// directory eagerly so permission problems surface at startup, not
+// mid-campaign.
+func NewDirBackend(dir string) (*DirBackend, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("resultstore: directory backend needs a directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, versionDir()), 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: opening %s: %w", dir, err)
+	}
+	return &DirBackend{dir: dir}, nil
+}
+
+// Tier implements Backend.
+func (b *DirBackend) Tier() string { return "disk" }
+
+// Location implements Backend.
+func (b *DirBackend) Location() string { return b.dir }
+
+func versionDir() string { return fmt.Sprintf("v%d", FormatVersion) }
+
+// path shards records two hex digits deep, keeping directories small even
+// for millions of records.
+func (b *DirBackend) path(hash string) string {
+	return filepath.Join(b.dir, versionDir(), hash[:2], hash+".json")
+}
+
+// Get implements Backend. Every failure mode — missing file, unreadable
+// file, bad JSON, version skew, key mismatch — is a miss; only a missing
+// file is a silent one.
+func (b *DirBackend) Get(k Key) (workloads.RunResult, Outcome) {
+	raw, err := os.ReadFile(b.path(k.hash()))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return workloads.RunResult{}, OutcomeMiss
+		}
+		return workloads.RunResult{}, OutcomeCorrupt
+	}
+	return decodeRecord(raw, k)
+}
+
+// Put implements Backend: the record is written under a temporary name in
+// its final directory and renamed into place, so readers only ever observe
+// complete records.
+func (b *DirBackend) Put(k Key, res workloads.RunResult) error {
+	path := b.path(k.hash())
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	raw, err := encodeRecord(k, res)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if _, err := tmp.Write(raw); err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: writing record: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+// Remote tier: the HTTP record protocol a fleet coordinator serves and its
+// workers read and write through. One endpoint, two methods, records on the
+// wire in exactly the on-disk document format:
+//
+//	GET  {endpoint}?cell={cell key}&seed={seed}  -> 200 record | 404
+//	PUT  {endpoint}?cell={cell key}&seed={seed}  <- record body -> 204
+//
+// The client side (HTTPBackend) keeps the full corruption-tolerance contract
+// of the disk tier: a missing record, an unreachable coordinator, a garbage
+// body, a version-skewed or key-mismatched record are all misses — never
+// errors — so a worker survives a flaky network exactly the way a local
+// store survives a flaky disk.
+package resultstore
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"dhtm/internal/workloads"
+)
+
+// maxRecordBytes bounds one record document on the wire. Records are cell
+// results (a few KB of stats JSON); the cap only guards against a confused
+// peer streaming garbage.
+const maxRecordBytes = 64 << 20
+
+// HTTPBackend is the remote durable tier: records live in a store served
+// over HTTP by a fleet coordinator (see Handler). Safe for concurrent use.
+type HTTPBackend struct {
+	endpoint string
+	client   *http.Client
+}
+
+// NewHTTPBackend returns a backend talking to the record endpoint at the
+// given URL (e.g. http://coordinator:8080/api/v1/fleet/records). A nil
+// client gets a 30-second-timeout default.
+func NewHTTPBackend(endpoint string, client *http.Client) *HTTPBackend {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &HTTPBackend{endpoint: strings.TrimRight(endpoint, "/"), client: client}
+}
+
+// Tier implements Backend.
+func (b *HTTPBackend) Tier() string { return "remote" }
+
+// Location implements Backend.
+func (b *HTTPBackend) Location() string { return b.endpoint }
+
+// keyURL addresses one record: the cell key and seed ride as query
+// parameters so any HTTP client (curl included) can fetch a record.
+func (b *HTTPBackend) keyURL(k Key) string {
+	q := url.Values{}
+	q.Set("cell", k.Cell)
+	q.Set("seed", strconv.FormatInt(k.Seed, 10))
+	return b.endpoint + "?" + q.Encode()
+}
+
+// Get implements Backend. A 404 is a clean miss; every other failure —
+// network error, non-200 status, bad body, version skew, key mismatch — is
+// OutcomeCorrupt, which callers treat as a miss.
+func (b *HTTPBackend) Get(k Key) (res workloads.RunResult, out Outcome) {
+	resp, err := b.client.Get(b.keyURL(k))
+	if err != nil {
+		return res, OutcomeCorrupt
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound:
+		return res, OutcomeMiss
+	default:
+		return res, OutcomeCorrupt
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxRecordBytes))
+	if err != nil {
+		return res, OutcomeCorrupt
+	}
+	return decodeRecord(raw, k)
+}
+
+// Put implements Backend: the record is PUT to the coordinator, which
+// persists it through its own store. Unlike reads, a failed write is a real
+// error — the store's write-error accounting needs to see it.
+func (b *HTTPBackend) Put(k Key, res workloads.RunResult) error {
+	raw, err := encodeRecord(k, res)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPut, b.keyURL(k), bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("resultstore: remote put: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("resultstore: remote put: %w", err)
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode/100 != 2 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("resultstore: remote put: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// Handler serves the record protocol over a store — the coordinator side of
+// HTTPBackend. Reads answer from the store (LRU included); writes validate
+// the record's version and key before persisting, so a confused or
+// version-skewed worker cannot plant records under wrong addresses.
+func Handler(s *Store) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		k, err := keyFromQuery(r)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			res, ok := s.Get(k)
+			if !ok {
+				http.Error(w, "no record", http.StatusNotFound)
+				return
+			}
+			raw, err := encodeRecord(k, res)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(raw)
+		case http.MethodPut:
+			raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRecordBytes))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			res, out := decodeRecord(raw, k)
+			if out != OutcomeHit {
+				http.Error(w, "record rejected: bad document, version skew, or key mismatch", http.StatusBadRequest)
+				return
+			}
+			if err := s.Put(k, res); err != nil {
+				// The record is in the coordinator's memory tier regardless
+				// (Put caches before persisting), so the worker's result is
+				// not lost — but tell the worker the durable write failed.
+				http.Error(w, err.Error(), http.StatusInsufficientStorage)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+		default:
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		}
+	})
+}
+
+// keyFromQuery parses the record address from ?cell=&seed=.
+func keyFromQuery(r *http.Request) (Key, error) {
+	cell := r.URL.Query().Get("cell")
+	if cell == "" {
+		return Key{}, fmt.Errorf("missing cell parameter")
+	}
+	seed, err := strconv.ParseInt(r.URL.Query().Get("seed"), 10, 64)
+	if err != nil {
+		return Key{}, fmt.Errorf("bad seed parameter: %v", err)
+	}
+	return Key{Cell: cell, Seed: seed}, nil
+}

@@ -1,0 +1,225 @@
+package resultstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dhtm/internal/obs"
+	"dhtm/internal/workloads"
+)
+
+// remotePair stands up a coordinator-side store serving the record protocol
+// and returns a worker-side store reading and writing through it.
+func remotePair(t *testing.T, workerOpts Options) (coord, worker *Store) {
+	t.Helper()
+	coord = open(t, t.TempDir(), Options{})
+	srv := httptest.NewServer(Handler(coord))
+	t.Cleanup(srv.Close)
+	worker, err := OpenWith(NewHTTPBackend(srv.URL, srv.Client()), workerOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord, worker
+}
+
+// TestRemoteRoundTrip drives a record through the full fleet path: worker
+// Put -> HTTP -> coordinator disk -> HTTP -> a second cold worker's Get.
+func TestRemoteRoundTrip(t *testing.T) {
+	coord, w1 := remotePair(t, Options{})
+	k := Key{Cell: "DHTM|hash|cores=8|tx=16", Seed: 42}
+	want := result(100)
+	if err := w1.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+
+	// The coordinator's own store must now serve the record locally.
+	if got, ok := coord.Get(k); !ok || !reflect.DeepEqual(got, want) {
+		t.Fatalf("coordinator store: ok=%v got=%+v", ok, got)
+	}
+
+	// A second worker with a cold LRU must hit through the remote tier.
+	w2, err := OpenWith(NewHTTPBackend(w1.Dir(), nil), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := w2.Get(k)
+	if !ok {
+		t.Fatalf("cold worker missed a fleet-persisted key")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n%+v\nvs\n%+v", got, want)
+	}
+	if w2.Metrics().DiskHits != 1 {
+		t.Fatalf("metrics = %+v, want one backend hit", w2.Metrics())
+	}
+}
+
+// TestRemoteTierMetricLabels checks the remote tier reports under
+// tier="remote" on the hit/miss/latency families, as the fleet dashboard
+// expects.
+func TestRemoteTierMetricLabels(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, w := remotePair(t, Options{Registry: reg})
+	k := Key{Cell: "cell", Seed: 1}
+
+	if _, ok := w.Get(k); ok { // miss
+		t.Fatal("unexpected hit on empty store")
+	}
+	if err := w.Put(k, result(7)); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := OpenWith(NewHTTPBackend(w.Dir(), nil), Options{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := w2.Get(k); !ok { // remote hit
+		t.Fatal("expected remote hit")
+	}
+
+	var buf strings.Builder
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`dhtm_resultstore_hits_total{tier="remote"} 1`,
+		`dhtm_resultstore_misses_total{tier="remote"} 1`,
+		`dhtm_resultstore_read_seconds_count{tier="remote"}`,
+		`dhtm_resultstore_write_seconds_count{tier="remote"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+}
+
+// TestRemoteCorruptionReadsAsMiss is the fleet half of the store's central
+// robustness contract: every way a remote record can be bad — garbage body,
+// version skew, key mismatch, server error, dead coordinator — reads as a
+// miss, never an error, and GetOrCompute recomputes over it.
+func TestRemoteCorruptionReadsAsMiss(t *testing.T) {
+	k := Key{Cell: "cell", Seed: 9}
+	skewed, _ := json.Marshal(record{Version: FormatVersion + 1, Key: k, Result: result(1)})
+	mismatched, _ := json.Marshal(record{Version: FormatVersion, Key: Key{Cell: "other", Seed: 9}, Result: result(1)})
+
+	cases := []struct {
+		name    string
+		handler http.HandlerFunc
+	}{
+		{"garbage body", func(w http.ResponseWriter, r *http.Request) {
+			fmt.Fprint(w, "{ not json")
+		}},
+		{"version skew", func(w http.ResponseWriter, r *http.Request) {
+			w.Write(skewed)
+		}},
+		{"key mismatch", func(w http.ResponseWriter, r *http.Request) {
+			w.Write(mismatched)
+		}},
+		{"server error", func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := httptest.NewServer(tc.handler)
+			defer srv.Close()
+			s, err := OpenWith(NewHTTPBackend(srv.URL, srv.Client()), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.Get(k); ok {
+				t.Fatalf("%s read as a hit", tc.name)
+			}
+			res, cached, err := s.GetOrCompute(k, func() (workloads.RunResult, error) {
+				return result(33), nil
+			})
+			if err != nil {
+				t.Fatalf("GetOrCompute surfaced an error over a bad remote record: %v", err)
+			}
+			if cached {
+				t.Fatalf("%s served as cached", tc.name)
+			}
+			if res.Committed != 33 {
+				t.Fatalf("recompute returned %+v", res)
+			}
+			if m := s.Metrics(); m.Corrupt == 0 {
+				t.Fatalf("corruption not counted: %+v", m)
+			}
+		})
+	}
+
+	t.Run("dead coordinator", func(t *testing.T) {
+		srv := httptest.NewServer(http.NotFoundHandler())
+		url := srv.URL
+		srv.Close()
+		s, err := OpenWith(NewHTTPBackend(url, nil), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(k); ok {
+			t.Fatal("hit against a dead coordinator")
+		}
+		res, _, err := s.GetOrCompute(k, func() (workloads.RunResult, error) {
+			return result(44), nil
+		})
+		if err != nil {
+			t.Fatalf("GetOrCompute surfaced an error with the coordinator down: %v", err)
+		}
+		if res.Committed != 44 {
+			t.Fatalf("recompute returned %+v", res)
+		}
+	})
+}
+
+// TestHandlerRejectsBadRecords: the coordinator validates incoming PUTs, so
+// a version-skewed or misaddressed worker cannot plant records.
+func TestHandlerRejectsBadRecords(t *testing.T) {
+	coord := open(t, t.TempDir(), Options{})
+	srv := httptest.NewServer(Handler(coord))
+	defer srv.Close()
+
+	k := Key{Cell: "cell", Seed: 5}
+	put := func(url string, body []byte) int {
+		req, err := http.NewRequest(http.MethodPut, url, strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	good, _ := encodeRecord(k, result(1))
+	skewed, _ := json.Marshal(record{Version: FormatVersion + 1, Key: k, Result: result(1)})
+
+	addr := srv.URL + "?cell=cell&seed=5"
+	if code := put(addr, []byte("garbage")); code != http.StatusBadRequest {
+		t.Fatalf("garbage PUT -> %d, want 400", code)
+	}
+	if code := put(addr, skewed); code != http.StatusBadRequest {
+		t.Fatalf("version-skewed PUT -> %d, want 400", code)
+	}
+	if code := put(srv.URL+"?cell=other&seed=5", good); code != http.StatusBadRequest {
+		t.Fatalf("key-mismatched PUT -> %d, want 400", code)
+	}
+	if code := put(srv.URL+"?seed=5", good); code != http.StatusBadRequest {
+		t.Fatalf("missing-cell PUT -> %d, want 400", code)
+	}
+	if _, ok := coord.Get(k); ok {
+		t.Fatal("a rejected PUT landed in the store")
+	}
+	if code := put(addr, good); code != http.StatusNoContent {
+		t.Fatalf("valid PUT -> %d, want 204", code)
+	}
+	if _, ok := coord.Get(k); !ok {
+		t.Fatal("valid PUT did not land in the store")
+	}
+}

@@ -7,27 +7,26 @@
 // The store has three layers:
 //
 //   - an in-memory LRU front that answers repeated lookups within a process
-//     without touching disk;
-//   - a sharded directory tree of versioned JSON records, written via
-//     temp-file + atomic rename so a crashed writer can never leave a
-//     half-record under a live name, and read corruption-tolerantly — an
-//     unparsable, version-skewed or key-mismatched record is a miss, never an
-//     error;
+//     without touching the durable tier;
+//   - a pluggable durable Backend — by default a sharded directory tree of
+//     versioned JSON records, written via temp-file + atomic rename so a
+//     crashed writer can never leave a half-record under a live name, and
+//     read corruption-tolerantly: an unparsable, version-skewed or
+//     key-mismatched record is a miss, never an error. An HTTPBackend
+//     substitutes a remote store served by a fleet coordinator with exactly
+//     the same semantics (see backend.go and remote.go);
 //   - an in-flight table (singleflight) so concurrent requests for the same
 //     key compute it exactly once and share the result.
 //
-// A Store with an empty directory is memory-only: the LRU and singleflight
-// still work, nothing persists.
+// A Store with an empty directory (and no backend) is memory-only: the LRU
+// and singleflight still work, nothing persists.
 package resultstore
 
 import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
-	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
 	"time"
 
@@ -71,7 +70,9 @@ type record struct {
 // Metrics are the store's monotone counters. All counters are totals since
 // Open; Lookups = MemHits + DiskHits + Misses.
 type Metrics struct {
-	// MemHits answered from the LRU; DiskHits from a valid on-disk record.
+	// MemHits answered from the LRU; DiskHits from a valid record of the
+	// durable backend (the JSON field name predates the pluggable backend —
+	// for a remote-backed store these are remote hits).
 	MemHits  uint64 `json:"mem_hits"`
 	DiskHits uint64 `json:"disk_hits"`
 	// Misses found nothing usable (first-time keys and corrupt records).
@@ -116,7 +117,7 @@ const DefaultMemEntries = 4096
 
 // Store is safe for concurrent use by any number of goroutines.
 type Store struct {
-	dir string
+	backend Backend // nil for memory-only stores
 
 	mu     sync.Mutex
 	lru    *lruCache
@@ -124,9 +125,12 @@ type Store struct {
 
 	// Counters live in an obs registry (private unless Options.Registry was
 	// set); Metrics() and the JSON store endpoint read the same handles the
-	// hot path increments, so there is exactly one set of numbers.
+	// hot path increments, so there is exactly one set of numbers. The
+	// backend-facing series (hits, misses, read/write latency) carry a
+	// tier label naming the backend — "disk" or "remote" — so a process
+	// fronting a remote store is distinguishable on /metrics.
 	memHits      *obs.Counter
-	diskHits     *obs.Counter
+	backendHits  *obs.Counter
 	misses       *obs.Counter
 	corrupt      *obs.Counter
 	computes     *obs.Counter
@@ -149,54 +153,77 @@ type call struct {
 // eagerly so permission problems surface at startup, not mid-campaign. An
 // empty dir opens a memory-only store.
 func Open(dir string, opts Options) (*Store, error) {
-	s := &Store{dir: dir, flight: make(map[string]*call)}
+	if dir == "" {
+		return OpenWith(nil, opts)
+	}
+	b, err := NewDirBackend(dir)
+	if err != nil {
+		return nil, err
+	}
+	return OpenWith(b, opts)
+}
+
+// OpenWith returns a store layered over an explicit durable backend — a
+// DirBackend, an HTTPBackend fronting a fleet coordinator, or nil for a
+// memory-only store. The LRU front, the singleflight table and the metrics
+// behave identically for every backend.
+func OpenWith(backend Backend, opts Options) (*Store, error) {
+	s := &Store{backend: backend, flight: make(map[string]*call)}
 	reg := opts.Registry
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	// The durable-tier label: "disk" / "remote" from the backend, "mem" for
+	// memory-only stores (every miss of those stops at the LRU).
+	tier := "mem"
+	if backend != nil {
+		tier = backend.Tier()
+	}
 	s.memHits = reg.Counter("dhtm_resultstore_hits_total",
 		"Result-store lookups answered without computing, by cache tier.", obs.L("tier", "mem"))
-	s.diskHits = reg.Counter("dhtm_resultstore_hits_total",
-		"Result-store lookups answered without computing, by cache tier.", obs.L("tier", "disk"))
+	backendTier := tier
+	if backend == nil {
+		// Keep the historical "disk" series alive for memory-only stores so
+		// Metrics() and dashboards read zeros rather than a missing family.
+		backendTier = "disk"
+	}
+	s.backendHits = reg.Counter("dhtm_resultstore_hits_total",
+		"Result-store lookups answered without computing, by cache tier.", obs.L("tier", backendTier))
 	s.misses = reg.Counter("dhtm_resultstore_misses_total",
-		"Result-store lookups that found nothing usable.")
+		"Result-store lookups that found nothing usable, by the deepest tier consulted.", obs.L("tier", tier))
 	s.corrupt = reg.Counter("dhtm_resultstore_corrupt_total",
-		"On-disk records rejected as unreadable, unparsable, version-skewed or key-mismatched (each is also a miss).")
+		"Backend records rejected as unreadable, unparsable, version-skewed or key-mismatched (each is also a miss).")
 	s.computes = reg.Counter("dhtm_resultstore_computes_total",
 		"GetOrCompute compute functions executed — simulations that actually ran.")
 	s.shared = reg.Counter("dhtm_resultstore_shared_total",
 		"Callers that waited on another goroutine's in-flight compute.")
 	s.writes = reg.Counter("dhtm_resultstore_writes_total",
-		"Result records durably persisted (atomic renames).")
+		"Result records durably persisted.")
 	s.writeErrs = reg.Counter("dhtm_resultstore_write_errors_total",
 		"Result records that computed fine but failed to persist.")
-	s.readSeconds = reg.Histogram("dhtm_resultstore_read_seconds",
-		"Latency of reading and validating one on-disk result record.", obs.IOBuckets)
-	s.writeSeconds = reg.Histogram("dhtm_resultstore_write_seconds",
-		"Latency of persisting one result record (encode, write, rename).", obs.IOBuckets)
+	if backend != nil {
+		s.readSeconds = reg.Histogram("dhtm_resultstore_read_seconds",
+			"Latency of reading and validating one backend result record, by tier.", obs.IOBuckets, obs.L("tier", tier))
+		s.writeSeconds = reg.Histogram("dhtm_resultstore_write_seconds",
+			"Latency of persisting one result record, by tier.", obs.IOBuckets, obs.L("tier", tier))
+	}
 	switch {
 	case opts.MemEntries == 0:
 		s.lru = newLRU(DefaultMemEntries)
 	case opts.MemEntries > 0:
 		s.lru = newLRU(opts.MemEntries)
 	}
-	if dir != "" {
-		if err := os.MkdirAll(filepath.Join(dir, s.versionDir()), 0o755); err != nil {
-			return nil, fmt.Errorf("resultstore: opening %s: %w", dir, err)
-		}
-	}
 	return s, nil
 }
 
-// Dir returns the store's root directory ("" for memory-only stores).
-func (s *Store) Dir() string { return s.dir }
-
-func (s *Store) versionDir() string { return fmt.Sprintf("v%d", FormatVersion) }
-
-// path shards records two hex digits deep, keeping directories small even
-// for millions of records.
-func (s *Store) path(hash string) string {
-	return filepath.Join(s.dir, s.versionDir(), hash[:2], hash+".json")
+// Dir returns the durable backend's location — the root directory of a
+// directory-backed store, the coordinator URL of a remote-backed one, "" for
+// memory-only stores.
+func (s *Store) Dir() string {
+	if s.backend == nil {
+		return ""
+	}
+	return s.backend.Location()
 }
 
 // Metrics returns a snapshot of the counters. The values are read from the
@@ -204,7 +231,7 @@ func (s *Store) path(hash string) string {
 func (s *Store) Metrics() Metrics {
 	return Metrics{
 		MemHits:     s.memHits.Value(),
-		DiskHits:    s.diskHits.Value(),
+		DiskHits:    s.backendHits.Value(),
 		Misses:      s.misses.Value(),
 		Corrupt:     s.corrupt.Value(),
 		Computes:    s.computes.Value(),
@@ -223,8 +250,8 @@ func (s *Store) Get(k Key) (workloads.RunResult, bool) {
 		s.memHits.Add(1)
 		return res, true
 	}
-	if res, ok := s.diskGet(h, k); ok {
-		s.diskHits.Add(1)
+	if res, ok := s.backendGet(k); ok {
+		s.backendHits.Add(1)
 		s.memPut(h, res)
 		return detach(res), true
 	}
@@ -233,15 +260,15 @@ func (s *Store) Get(k Key) (workloads.RunResult, bool) {
 }
 
 // Put persists the result for k: into the LRU immediately, and — when the
-// store is disk-backed — as an atomically renamed record.
+// store has a durable backend — as a backend record.
 func (s *Store) Put(k Key, res workloads.RunResult) error {
 	res = detach(res)
 	h := k.hash()
 	s.memPut(h, res)
-	if s.dir == "" {
+	if s.backend == nil {
 		return nil
 	}
-	return s.diskPut(h, k, res)
+	return s.backendPut(k, res)
 }
 
 // GetOrCompute returns the result for k, computing and persisting it on a
@@ -295,14 +322,15 @@ func (s *Store) GetOrCompute(k Key, compute func() (workloads.RunResult, error))
 }
 
 // fill resolves a flight-leader's lookup: re-check memory (a Put may have
-// raced ahead of the flight entry), then disk, then compute and persist.
+// raced ahead of the flight entry), then the backend, then compute and
+// persist.
 func (s *Store) fill(h string, k Key, compute func() (workloads.RunResult, error)) (workloads.RunResult, bool, error) {
 	if res, ok := s.memGet(h); ok {
 		s.memHits.Add(1)
 		return res, true, nil
 	}
-	if res, ok := s.diskGet(h, k); ok {
-		s.diskHits.Add(1)
+	if res, ok := s.backendGet(k); ok {
+		s.backendHits.Add(1)
 		s.memPut(h, res)
 		return res, true, nil
 	}
@@ -314,77 +342,47 @@ func (s *Store) fill(h string, k Key, compute func() (workloads.RunResult, error
 	}
 	res = detach(res)
 	s.memPut(h, res)
-	if s.dir != "" {
-		// A persist failure (disk full, permissions yanked mid-campaign) must
-		// not discard a simulation that succeeded: serve the result, keep it
-		// in memory, and surface the sick disk through WriteErrors.
+	if s.backend != nil {
+		// A persist failure (disk full, coordinator unreachable mid-campaign)
+		// must not discard a simulation that succeeded: serve the result, keep
+		// it in memory, and surface the sick tier through WriteErrors.
 		wstart := time.Now()
-		if err := s.diskPut(h, k, res); err != nil {
-			s.writeErrs.Add(1)
-		}
+		s.backendPut(k, res)
 		res.Phases.Add(obs.PhaseStoreWrite, time.Since(wstart))
 	}
 	return res, false, nil
 }
 
-// diskGet reads and validates the record for hash h. Every failure mode —
-// missing file, unreadable file, bad JSON, version skew, key mismatch — is
-// a miss; only a missing file is a silent one.
-func (s *Store) diskGet(h string, k Key) (workloads.RunResult, bool) {
-	if s.dir == "" {
+// backendGet reads through the durable backend, folding its outcome into the
+// store's tiered metrics. A corrupt record counts as a miss, never an error.
+func (s *Store) backendGet(k Key) (workloads.RunResult, bool) {
+	if s.backend == nil {
 		return workloads.RunResult{}, false
 	}
 	start := time.Now()
-	raw, err := os.ReadFile(s.path(h))
-	if err != nil {
-		if !os.IsNotExist(err) {
-			s.corrupt.Add(1)
-		}
-		// A missing file is not a record read; don't let cold-sweep stat
-		// failures dominate the read-latency histogram.
-		return workloads.RunResult{}, false
-	}
-	defer s.readSeconds.ObserveSince(start)
-	var rec record
-	if err := json.Unmarshal(raw, &rec); err != nil {
+	res, out := s.backend.Get(k)
+	switch out {
+	case OutcomeHit:
+		s.readSeconds.ObserveSince(start)
+		return res, true
+	case OutcomeCorrupt:
+		// Rejected records are observed too — a tier serving garbage slowly is
+		// two problems, and both should show. Clean misses are not record
+		// reads; don't let cold-sweep lookups dominate the latency histogram.
+		s.readSeconds.ObserveSince(start)
 		s.corrupt.Add(1)
-		return workloads.RunResult{}, false
 	}
-	if rec.Version != FormatVersion || rec.Key != k {
-		s.corrupt.Add(1)
-		return workloads.RunResult{}, false
-	}
-	return rec.Result, true
+	return workloads.RunResult{}, false
 }
 
-// diskPut writes the record under a temporary name in its final directory
-// and renames it into place, so readers only ever observe complete records.
-func (s *Store) diskPut(h string, k Key, res workloads.RunResult) error {
+// backendPut persists one record through the backend, keeping the write
+// counters and latency histogram in the store so every backend is accounted
+// identically.
+func (s *Store) backendPut(k Key, res workloads.RunResult) error {
 	start := time.Now()
-	path := s.path(h)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return fmt.Errorf("resultstore: %w", err)
-	}
-	raw, err := json.MarshalIndent(record{Version: FormatVersion, Key: k, Result: res}, "", "  ")
-	if err != nil {
-		return fmt.Errorf("resultstore: encoding record: %w", err)
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
-	if err != nil {
-		return fmt.Errorf("resultstore: %w", err)
-	}
-	if _, err := tmp.Write(append(raw, '\n')); err == nil {
-		err = tmp.Close()
-	} else {
-		tmp.Close()
-	}
-	if err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("resultstore: writing record: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("resultstore: %w", err)
+	if err := s.backend.Put(k, res); err != nil {
+		s.writeErrs.Add(1)
+		return err
 	}
 	s.writes.Add(1)
 	s.writeSeconds.ObserveSince(start)

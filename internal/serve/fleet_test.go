@@ -1,0 +1,199 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dhtm/internal/crashtest"
+	"dhtm/internal/fleet"
+	"dhtm/internal/obs"
+	"dhtm/internal/resultstore"
+)
+
+// newFleetServer stands up a coordinator-mode server plus n real workers
+// pulling from it over HTTP, all sharing one listener.
+func newFleetServer(t *testing.T, n int) (*Server, *httptest.Server) {
+	t.Helper()
+	store, err := resultstore.Open("", resultstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		Store: store, BatchSize: 2, Registry: obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store, Workers: 2, Fleet: coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		w, err := fleet.NewWorker(fleet.WorkerConfig{
+			Coordinator: ts.URL, Parallel: 2,
+			Poll: 5 * time.Millisecond, Registry: obs.NewRegistry(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			defer func() { done <- struct{}{} }()
+			if err := w.Run(ctx); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	t.Cleanup(func() {
+		cancel()
+		for i := 0; i < n; i++ {
+			<-done
+		}
+		ts.Close()
+		srv.Close()
+		coord.Close()
+	})
+	return srv, ts
+}
+
+func fetchTables(t *testing.T, ts *httptest.Server, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/api/v1/jobs/" + id + "/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("tables: status %d: %s", resp.StatusCode, b)
+	}
+	return b
+}
+
+// TestFleetServeEndToEnd submits the same sweep to a single-node server and
+// to a coordinator with two real workers; the rendered tables must be
+// byte-identical, and the fleet status must show the workers did the cells.
+func TestFleetServeEndToEnd(t *testing.T) {
+	// Single-node reference.
+	_, localTS := newTestServer(t, t.TempDir(), 2)
+	localSt := await(t, localTS, submit(t, localTS, quickSweep()).ID)
+	if localSt.State != StateDone {
+		t.Fatalf("local job: %s (%s)", localSt.State, localSt.Error)
+	}
+	want := fetchTables(t, localTS, localSt.ID)
+
+	// Fleet run of the identical spec.
+	_, fleetTS := newFleetServer(t, 2)
+	fleetSt := await(t, fleetTS, submit(t, fleetTS, quickSweep()).ID)
+	if fleetSt.State != StateDone {
+		t.Fatalf("fleet job: %s (%s)", fleetSt.State, fleetSt.Error)
+	}
+	got := fetchTables(t, fleetTS, fleetSt.ID)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fleet tables differ from single-node:\n--- fleet ---\n%s--- local ---\n%s", got, want)
+	}
+
+	// The coordinator's fleet status is served on the same listener.
+	resp, err := http.Get(fleetTS.URL + fleet.PathStatus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st fleet.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Workers) != 2 {
+		t.Fatalf("fleet status workers = %d, want 2", len(st.Workers))
+	}
+	if st.TasksDone != 2 {
+		t.Fatalf("fleet status tasks done = %d, want 2", st.TasksDone)
+	}
+
+	// Warm resubmission answers from the coordinator's store: all cached.
+	warm := await(t, fleetTS, submit(t, fleetTS, quickSweep()).ID)
+	if warm.Cells.Cached != warm.Cells.Total {
+		t.Fatalf("warm fleet rerun cached %d of %d", warm.Cells.Cached, warm.Cells.Total)
+	}
+
+	// The catalog advertises fleet mode.
+	cresp, err := http.Get(fleetTS.URL + "/api/v1/catalog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cresp.Body.Close()
+	var catalog map[string]any
+	if err := json.NewDecoder(cresp.Body).Decode(&catalog); err != nil {
+		t.Fatal(err)
+	}
+	if catalog["fleet"] != true {
+		t.Fatalf("catalog fleet = %v, want true", catalog["fleet"])
+	}
+}
+
+// TestCrashtestThroughFleetServe runs a tiny crash-test exploration through
+// the fleet dispatch path and checks it matches a local server's report.
+func TestCrashtestThroughFleetServe(t *testing.T) {
+	spec := JobSpec{Kind: KindCrashtest, Crashtests: []crashtest.Config{{
+		Design: "DHTM", Workload: "queue", Cores: 2, TxPerCore: 1, OpsPerTx: 4,
+	}}}
+
+	_, localTS := newTestServer(t, t.TempDir(), 1)
+	localSt := await(t, localTS, submit(t, localTS, spec).ID)
+	if localSt.State != StateDone {
+		t.Fatalf("local crashtest: %s (%s)", localSt.State, localSt.Error)
+	}
+
+	_, fleetTS := newFleetServer(t, 1)
+	fleetSt := await(t, fleetTS, submit(t, fleetTS, spec).ID)
+	if fleetSt.State != StateDone {
+		t.Fatalf("fleet crashtest: %s (%s)", fleetSt.State, fleetSt.Error)
+	}
+	if len(fleetSt.Crashtests) != 1 || len(localSt.Crashtests) != 1 {
+		t.Fatalf("reports: fleet %d local %d", len(fleetSt.Crashtests), len(localSt.Crashtests))
+	}
+	fr, lr := fleetSt.Crashtests[0], localSt.Crashtests[0]
+	if fr.Explored != lr.Explored || fr.TotalPoints != lr.TotalPoints || fr.Failed != lr.Failed {
+		t.Fatalf("fleet report %+v diverges from local %+v", fr, lr)
+	}
+}
+
+// TestDrainRejectsNewJobs: a draining server refuses submissions with 503
+// while finishing what it already accepted.
+func TestDrainRejectsNewJobs(t *testing.T) {
+	srv, ts := newTestServer(t, "", 1)
+
+	st := submit(t, ts, quickSweep())
+	srv.Drain() // blocks until the accepted job ran to completion
+
+	body, _ := json.Marshal(quickSweep())
+	resp, err := http.Post(ts.URL+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: status %d: %s", resp.StatusCode, b)
+	}
+	if !strings.Contains(string(b), "draining") {
+		t.Fatalf("drain rejection body: %s", b)
+	}
+
+	// The job accepted before the drain still finished.
+	if got := getStatus(t, ts, st.ID); got.State != StateDone {
+		t.Fatalf("pre-drain job state = %s (%s)", got.State, got.Error)
+	}
+}
